@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each bench regenerates one of the paper's tables/figures, prints the
+same rows/series the paper reports (with the paper's values alongside),
+and times the core computation with pytest-benchmark. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+def emit(title: str, body: str) -> None:
+    """Print a bench's regenerated figure under a clear banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,72 @@
+"""Ablation bench: ECC strength at the relaxed refresh period.
+
+The paper's DRAM result hinges on SECDED correcting every manifested
+error at <= 60 degC. This ablation quantifies what weaker protection
+would have meant: SECDED vs parity-only detection vs no protection, over
+the same weak-cell populations at both study temperatures and at an
+overheated 70 degC point (where even SECDED starts to leak).
+"""
+
+from collections import defaultdict
+
+from conftest import emit
+
+from repro.dram.cells import DramDevicePopulation
+from repro.dram.controller import WORD_DATA_BITS
+from repro.units import RELAXED_REFRESH_S
+
+
+def word_error_histogram(population, temp_c, devices=24):
+    """words with k failing bits, aggregated over sampled devices."""
+    histogram = defaultdict(int)
+    for device in range(devices):
+        for bank in range(8):
+            weak_map = population.bank_map(device, bank)
+            by_word = defaultdict(int)
+            for cell in weak_map.failing_cells(
+                    RELAXED_REFRESH_S, temp_c,
+                    coupling=weak_map.retention.params.coupling_random):
+                by_word[(cell.row, cell.col // WORD_DATA_BITS)] += 1
+            for count in by_word.values():
+                histogram[count] += 1
+    return dict(histogram)
+
+
+def protection_outcomes(histogram):
+    """(corrected, detected-only, silent) word counts per scheme."""
+    secded = {"corrected": histogram.get(1, 0),
+              "detected": histogram.get(2, 0),
+              "silent": sum(v for k, v in histogram.items() if k > 2)}
+    parity = {"corrected": 0,
+              "detected": sum(v for k, v in histogram.items() if k % 2 == 1),
+              "silent": sum(v for k, v in histogram.items() if k % 2 == 0)}
+    none = {"corrected": 0, "detected": 0, "silent": sum(histogram.values())}
+    return {"secded": secded, "parity": parity, "none": none}
+
+
+def test_bench_ecc_strength_ablation(benchmark, bench_seed):
+    population = DramDevicePopulation(seed=bench_seed,
+                                      profile_interval_s=4.0,
+                                      profile_temp_c=72.0)
+
+    def run():
+        return {temp: word_error_histogram(population, temp)
+                for temp in (50.0, 60.0, 70.0)}
+
+    histograms = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for temp, histogram in sorted(histograms.items()):
+        lines.append(f"{temp:.0f} degC word-error multiplicities: {histogram}")
+        for scheme, outcome in protection_outcomes(histogram).items():
+            lines.append(f"    {scheme:7s}: corrected={outcome['corrected']} "
+                         f"detected={outcome['detected']} "
+                         f"silent={outcome['silent']}")
+    emit("Ablation: ECC strength at 35x relaxed refresh", "\n".join(lines))
+    # At <= 60 degC SECDED corrects everything (the paper's claim)...
+    for temp in (50.0, 60.0):
+        outcomes = protection_outcomes(histograms[temp])["secded"]
+        assert outcomes["detected"] == 0 and outcomes["silent"] == 0
+    # ...while parity-only would leave every error uncorrected.
+    parity_60 = protection_outcomes(histograms[60.0])["parity"]
+    assert parity_60["corrected"] == 0
+    assert parity_60["detected"] > 0

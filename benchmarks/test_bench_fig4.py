@@ -1,0 +1,19 @@
+"""Bench: Figure 4 -- SPEC CPU2006 Vmin on the three sigma chips."""
+
+from conftest import emit
+
+from repro.experiments.fig4_spec_vmin import PAPER_RANGES_MV, run_figure4
+
+
+def test_bench_figure4(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"seed": bench_seed, "repetitions": 10},
+        rounds=1, iterations=1,
+    )
+    emit("Figure 4: Vmin of 10 SPEC2006 programs on TTT/TFF/TSS",
+         result.format())
+    for corner, (lo, hi) in PAPER_RANGES_MV.items():
+        measured_lo, measured_hi = result.measured_range_mv(corner)
+        assert abs(measured_lo - lo) <= 5.0
+        assert abs(measured_hi - hi) <= 5.0
+    assert result.ordering_consistent_across_chips()

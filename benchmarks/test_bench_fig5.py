@@ -1,0 +1,25 @@
+"""Bench: Figure 5 -- power/performance tradeoff ladder."""
+
+from conftest import emit
+
+from repro.experiments.fig5_tradeoff import (
+    PAPER_BEST_ENERGY_SAVINGS_PCT,
+    PAPER_FULL_PERF_SAVINGS_PCT,
+    PAPER_LADDER,
+    run_figure5,
+)
+
+
+def test_bench_figure5(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_figure5, kwargs={"seed": bench_seed, "repetitions": 10},
+        rounds=1, iterations=1,
+    )
+    body = result.format() + "\n\npaper ladder for reference:\n" + "\n".join(
+        f"  perf {perf:5.1f}%  rail {rail:3.0f} mV  power {power:4.1f}%"
+        for perf, rail, power in PAPER_LADDER
+    )
+    emit("Figure 5: 8-benchmark mix power/performance tradeoff (TTT)", body)
+    assert abs(result.full_perf_savings_pct - PAPER_FULL_PERF_SAVINGS_PCT) < 0.5
+    assert abs(result.best_energy_savings_pct - PAPER_BEST_ENERGY_SAVINGS_PCT) < 0.5
+    assert result.predictor_is_safe

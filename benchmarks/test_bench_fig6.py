@@ -1,0 +1,18 @@
+"""Bench: Figure 6 -- Vmin of the EM dI/dt virus vs NAS workloads."""
+
+from conftest import emit
+
+from repro.experiments.fig6_virus_vs_nas import run_figure6
+
+
+def test_bench_figure6(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs={"seed": bench_seed, "repetitions": 10,
+                "generations": 25, "population": 32},
+        rounds=1, iterations=1,
+    )
+    emit("Figure 6: EM virus vs NAS benchmark Vmin (TTT)", result.format())
+    assert result.virus_is_highest
+    assert result.gap_mv >= 30.0
+    assert abs(result.virus_vmin_mv - 920.0) <= 5.0

@@ -1,0 +1,19 @@
+"""Bench: Figure 7 -- inter-chip process variation under the virus."""
+
+from conftest import emit
+
+from repro.experiments.fig7_interchip import PAPER_MARGINS_MV, run_figure7
+
+
+def test_bench_figure7(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_figure7,
+        kwargs={"seed": bench_seed, "repetitions": 10,
+                "generations": 25, "population": 32},
+        rounds=1, iterations=1,
+    )
+    emit("Figure 7: virus margins across TTT/TFF/TSS", result.format())
+    assert result.ordering_matches_paper
+    assert abs(result.margin_mv("TTT") - PAPER_MARGINS_MV["TTT"]) <= 5.0
+    assert abs(result.margin_mv("TFF") - PAPER_MARGINS_MV["TFF"]) <= 5.0
+    assert result.tss_margin_negligible

@@ -1,0 +1,15 @@
+"""Bench: Figure 8a -- BER of DPBenches vs Rodinia workloads."""
+
+from conftest import emit
+
+from repro.experiments.fig8a_ber import PAPER_MAX_WORKLOAD_VARIATION, run_figure8a
+
+
+def test_bench_figure8a(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_figure8a, kwargs={"seed": bench_seed}, rounds=3, iterations=1,
+    )
+    emit("Figure 8a: BER for DPBenches and Rodinia workloads", result.format())
+    assert result.random_is_worst_pattern
+    assert result.workloads_below_random_virus
+    assert abs(result.workload_variation - PAPER_MAX_WORKLOAD_VARIATION) < 0.6

@@ -1,0 +1,16 @@
+"""Bench: Figure 8b -- DRAM power savings from 35x relaxed refresh."""
+
+from conftest import emit
+
+from repro.experiments.fig8b_refresh_power import PAPER_SAVINGS_PCT, run_figure8b
+
+
+def test_bench_figure8b(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_figure8b, kwargs={"seed": bench_seed}, rounds=3, iterations=1,
+    )
+    emit("Figure 8b: DRAM power savings at 35x relaxed refresh", result.format())
+    name_max, val_max = result.max_savings
+    name_min, val_min = result.min_savings
+    assert name_max == "nw" and abs(val_max - PAPER_SAVINGS_PCT["nw"]) < 0.5
+    assert name_min == "kmeans" and abs(val_min - PAPER_SAVINGS_PCT["kmeans"]) < 0.5

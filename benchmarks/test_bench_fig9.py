@@ -1,0 +1,24 @@
+"""Bench: Figure 9 -- end-to-end Jammer run at the safe operating point."""
+
+from conftest import emit
+
+from repro.experiments.fig9_jammer import (
+    PAPER_DOMAIN_SAVINGS_PCT,
+    PAPER_TOTAL_SAVINGS_PCT,
+    run_figure9,
+)
+
+
+def test_bench_figure9(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_figure9, kwargs={"seed": bench_seed, "repetitions": 10},
+        rounds=1, iterations=1,
+    )
+    emit("Figure 9: server power per domain, nominal vs undervolted Jammer",
+         result.format())
+    assert result.qos_met
+    assert result.point.pmd_mv == 930.0
+    assert result.point.soc_mv == 920.0
+    assert abs(result.power.total_savings_pct - PAPER_TOTAL_SAVINGS_PCT) < 1.5
+    for domain, target in PAPER_DOMAIN_SAVINGS_PCT.items():
+        assert abs(result.power.domain_savings_pct(domain) - target) < 2.0

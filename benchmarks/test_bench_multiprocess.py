@@ -1,0 +1,21 @@
+"""Extension bench: single- vs multi-process Vmin characterization.
+
+The paper characterized workloads "in both single-process and
+multi-process setups"; this bench regenerates that comparison and the
+decorrelation effect the Figure 5 analysis builds on.
+"""
+
+from conftest import emit
+
+from repro.experiments.multiprocess_vmin import run_multiprocess_study
+
+
+def test_bench_multiprocess_vmin(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_multiprocess_study, kwargs={"seed": bench_seed, "repetitions": 5},
+        rounds=1, iterations=1,
+    )
+    emit("Extension: single-process vs multi-process Vmin (TTT)",
+         result.format())
+    assert result.all_multi_above_single
+    assert result.decorrelation_gain_mv > 0.0

@@ -1,0 +1,21 @@
+"""Bench: Section IV.C -- stencil access-pattern scheduling.
+
+Also doubles as the inherent-refresh ablation: comparing schedules with
+identical work but different access intervals isolates exactly the
+access-driven-refresh mechanism.
+"""
+
+from conftest import emit
+
+from repro.experiments.stencil_scheduling import run_stencil_study
+
+
+def test_bench_stencil_scheduling(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_stencil_study, kwargs={"seed": bench_seed}, rounds=3, iterations=1,
+    )
+    emit("Stencil access-pattern scheduling (paper Sec. IV.C / ref [12])",
+         result.format())
+    assert result.natural_coverage < 0.1
+    assert result.blocked_coverage > 0.9
+    assert result.blocked_relative_ber < 0.1

@@ -1,0 +1,48 @@
+"""Extension bench: the testbed cost of the Figure 4 study.
+
+The paper describes "running the entire time-consuming undervolting
+experiment ten times for each benchmark". This bench replays that study
+on the virtual-time scheduler and prints the wall-clock bill per chip --
+serial (the safe policy on one board) versus fully parallel (the
+multi-board upper bound).
+"""
+
+from conftest import emit
+
+from repro.core.timeline import CampaignScheduler
+from repro.soc.corners import ProcessCorner
+from repro.soc.xgene2 import build_reference_chips
+from repro.workloads.spec import spec_suite
+
+
+def test_bench_study_cost(benchmark, bench_seed):
+    chips = build_reference_chips(seed=bench_seed)
+    suite = spec_suite()
+
+    def run():
+        rows = []
+        for corner, chip in chips.items():
+            scheduler = CampaignScheduler(chip, repetitions=10,
+                                          seed=bench_seed)
+            serial = scheduler.schedule(suite, parallel=False)
+            parallel = scheduler.schedule(suite, parallel=True)
+            rows.append((corner.value, serial.as_hours(),
+                         parallel.as_hours(), parallel.speedup))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'chip':>5s} {'serial hours':>13s} {'parallel hours':>15s} "
+             f"{'speedup':>8s}"]
+    total_serial = 0.0
+    for corner, serial_h, parallel_h, speedup in rows:
+        total_serial += serial_h
+        lines.append(f"{corner:>5s} {serial_h:13.1f} {parallel_h:15.1f} "
+                     f"{speedup:8.1f}x")
+    lines.append(f"full 3-chip Figure 4 study, serial: "
+                 f"{total_serial:.0f} testbed hours "
+                 f"({total_serial / 24:.1f} days)")
+    emit("Extension: wall-clock cost of the Figure 4 undervolting study",
+         "\n".join(lines))
+    for corner, serial_h, parallel_h, speedup in rows:
+        assert serial_h > 20.0, corner       # genuinely time-consuming
+        assert speedup > 2.0, corner

@@ -1,0 +1,27 @@
+"""Bench: Table I -- weak-cell counts per bank at 50/60 degC."""
+
+from conftest import emit
+
+from repro.experiments.table1_weak_cells import (
+    PAPER_COUNTS,
+    PAPER_SPREAD_PCT,
+    run_table1,
+)
+
+
+def test_bench_table1(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        run_table1, kwargs={"seed": bench_seed, "regulate": True},
+        rounds=1, iterations=1,
+    )
+    body = result.format() + "\n\npaper rows for reference:\n"
+    for temp, counts in sorted(PAPER_COUNTS.items()):
+        body += f"  {temp:.0f} degC: " + " ".join(str(c) for c in counts) + "\n"
+    emit("Table I: unique error locations per DRAM bank (35x refresh)", body)
+    assert result.regulation_ok
+    assert result.all_errors_corrected
+    for temp, paper_row in PAPER_COUNTS.items():
+        paper_mean = sum(paper_row) / len(paper_row)
+        measured_mean = sum(result.counts[temp]) / len(result.counts[temp])
+        assert abs(measured_mean - paper_mean) / paper_mean < 0.3
+    assert result.measured_spread_pct(50.0) > result.measured_spread_pct(60.0)

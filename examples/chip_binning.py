@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Per-part binning: why one safe point cannot serve every chip.
+
+The paper's Figure 7 message in deployable form: the same virus-derived
+characterization run over a *population* of parts (not just the three
+reference chips) sorts them into undervolting bins. Typical parts hide
+tens of millivolts of guardband; slow-corner parts must stay at nominal.
+
+Run:  python examples/chip_binning.py
+"""
+
+from repro.core.executor import CampaignExecutor
+from repro.core.margins import guardband_report
+from repro.core.safepoints import select_safe_points
+from repro.core.vmin import VminSearch
+from repro.experiments.fig6_virus_vs_nas import virus_as_workload
+from repro.soc.chip import Chip
+from repro.soc.corners import ProcessCorner
+from repro.viruses.didt import evolve_didt_virus
+from repro.workloads.spec import spec_suite
+
+SEED = 1
+PARTS_PER_CORNER = 3
+
+
+def characterize(chip: Chip, virus_workload) -> float:
+    """Return the part's selected PMD set-point (mV)."""
+    search = VminSearch(CampaignExecutor(chip, seed=SEED), repetitions=5)
+    weakest = chip.weakest_cores(1)[0]
+    robust = chip.strongest_core()
+    workload_results = search.search_suite(spec_suite()[:4], cores=(weakest,))
+    virus_result = search.search(virus_workload, cores=(robust,))
+    report = guardband_report(chip.serial, chip.corner.value,
+                              workload_results, virus_result)
+    return select_safe_points(report, dram_all_corrected=True).pmd_mv
+
+
+def main() -> None:
+    virus = evolve_didt_virus(seed=SEED, generations=15, population=24)
+    virus_workload = virus_as_workload(virus)
+    print(f"characterization stimulus: {virus.summary()}\n")
+    print(f"{'part':10s} {'corner':7s} {'safe PMD mV':>12s} "
+          f"{'shaved mV':>10s} {'power saved':>12s}")
+    bins = {}
+    for corner in ProcessCorner:
+        for index in range(PARTS_PER_CORNER):
+            chip = Chip(corner, seed=SEED + index,
+                        serial=f"{corner.value}-{index:02d}")
+            point_mv = characterize(chip, virus_workload)
+            shaved = 980.0 - point_mv
+            power = (1.0 - (point_mv / 980.0) ** 2) * 100.0
+            bins.setdefault(corner.value, []).append(point_mv)
+            print(f"{chip.serial:10s} {corner.value:7s} {point_mv:12.0f} "
+                  f"{shaved:10.0f} {power:11.1f}%")
+    print("\nbin summary (set-point range per corner):")
+    for corner, points in bins.items():
+        print(f"  {corner}: {min(points):.0f}-{max(points):.0f} mV")
+    print("\nTSS parts sit at/near the manufacturer nominal -- exactly the "
+          "paper's conclusion that the slow corner should not be undervolted.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize one chip and find a safe operating point.
+
+This walks the library's central loop in ~40 lines:
+
+1. build a simulated X-Gene2 part (the TTT typical-corner chip),
+2. run the descending-ladder Vmin search for a few SPEC workloads,
+3. evolve the worst-case dI/dt virus and measure its Vmin,
+4. fold everything into a guardband report and pick the safe point.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CampaignExecutor,
+    ProcessCorner,
+    VminSearch,
+    build_reference_chips,
+    evolve_didt_virus,
+    guardband_report,
+    select_safe_points,
+    spec_suite,
+)
+from repro.experiments.fig6_virus_vs_nas import virus_as_workload
+
+
+def main() -> None:
+    chip = build_reference_chips(seed=1)[ProcessCorner.TTT]
+    print(f"device under test: {chip.serial} ({chip.corner})")
+
+    executor = CampaignExecutor(chip, seed=1)
+    search = VminSearch(executor, repetitions=10)
+
+    # 1. Per-workload Vmin on the weakest core (binding for a chip rail).
+    weakest = chip.weakest_cores(1)[0]
+    print(f"\nVmin search on the weakest core ({weakest}):")
+    results = search.search_suite(spec_suite(), cores=(weakest,))
+    for result in results:
+        print(f"  {result.workload:10s} safe Vmin {result.safe_vmin_mv:5.0f} mV "
+              f"(guardband {result.guardband_mv:4.0f} mV, "
+              f"power -{result.power_reduction_fraction * 100:4.1f}%)")
+
+    # 2. The worst-case stimulus: an EM-guided dI/dt virus.
+    virus = evolve_didt_virus(seed=1, generations=20, population=28)
+    print(f"\nevolved virus: {virus.summary()}")
+    robust = chip.strongest_core()
+    virus_result = search.search(virus_as_workload(virus), cores=(robust,))
+    print(f"virus Vmin on the most robust core: {virus_result.safe_vmin_mv:.0f} mV "
+          f"(margin {virus_result.guardband_mv:.0f} mV below nominal)")
+
+    # 3. Safe operating point.
+    report = guardband_report(chip.serial, chip.corner.value,
+                              results, virus_result)
+    point = select_safe_points(report, dram_all_corrected=True)
+    print(f"\nselected safe operating point:")
+    print(f"  PMD rail {point.pmd_mv:.0f} mV "
+          f"(shaving {point.pmd_undervolt_mv:.0f} mV of guardband)")
+    print(f"  SoC rail {point.soc_mv:.0f} mV")
+    print(f"  refresh period {point.trefp_s:.3f} s "
+          f"({point.refresh_relaxation:.1f}x relaxed)")
+
+    # 4. Campaign bookkeeping: the framework's final CSV.
+    print(f"\ncharacterization rows logged: {len(executor.store)}")
+    print("first CSV lines:")
+    for line in executor.store.to_csv_text().splitlines()[:4]:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

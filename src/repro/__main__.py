@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig4 [--seed N] [--fast]
+    python -m repro run all  [--seed N] [--fast]
+
+``--fast`` trims repetitions/GA budgets for a quick smoke pass; the
+default settings match the benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.rand import DEFAULT_SEED
+
+
+def _experiments() -> Dict[str, Callable]:
+    from repro.experiments import (
+        run_figure4, run_figure5, run_figure6, run_figure7,
+        run_figure8a, run_figure8b, run_figure9,
+        run_stencil_study, run_table1,
+    )
+    return {
+        "fig4": lambda seed, fast: run_figure4(
+            seed=seed, repetitions=3 if fast else 10),
+        "fig5": lambda seed, fast: run_figure5(
+            seed=seed, repetitions=3 if fast else 10),
+        "fig6": lambda seed, fast: run_figure6(
+            seed=seed, repetitions=3 if fast else 10,
+            generations=8 if fast else 25, population=16 if fast else 32),
+        "fig7": lambda seed, fast: run_figure7(
+            seed=seed, repetitions=3 if fast else 10,
+            generations=8 if fast else 25, population=16 if fast else 32),
+        "table1": lambda seed, fast: run_table1(
+            seed=seed, regulate=not fast,
+            sample_devices=24 if fast else 72),
+        "fig8a": lambda seed, fast: run_figure8a(seed=seed),
+        "fig8b": lambda seed, fast: run_figure8b(seed=seed),
+        "fig9": lambda seed, fast: run_figure9(
+            seed=seed, repetitions=3 if fast else 10),
+        "stencil": lambda seed, fast: run_stencil_study(seed=seed),
+        "multiprocess": lambda seed, fast: _run_multiprocess(seed, fast),
+    }
+
+
+def _run_multiprocess(seed, fast):
+    from repro.experiments.multiprocess_vmin import run_multiprocess_study
+    return run_multiprocess_study(seed=seed, repetitions=3 if fast else 5)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the DSN'18 guardbands paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiment ids")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment", help="experiment id or 'all'")
+    runner.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    runner.add_argument("--fast", action="store_true",
+                        help="reduced budgets for a quick smoke pass")
+    reporter = sub.add_parser(
+        "report", help="run every experiment and render the full "
+        "paper-vs-measured reproduction report")
+    reporter.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    reporter.add_argument("--fast", action="store_true")
+    args = parser.parse_args(argv)
+
+    experiments = _experiments()
+    if args.command == "list":
+        for name in experiments:
+            print(name)
+        return 0
+    if args.command == "report":
+        from repro.analysis.reporting import build_report
+        report = build_report(seed=args.seed, fast=args.fast)
+        print(report.render())
+        return 0 if report.all_passed else 1
+
+    targets = list(experiments) if args.experiment == "all" \
+        else [args.experiment]
+    unknown = [t for t in targets if t not in experiments]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(experiments)}", file=sys.stderr)
+        return 2
+    for name in targets:
+        start = time.perf_counter()
+        result = experiments[name](args.seed, args.fast)
+        elapsed = time.perf_counter() - start
+        print("=" * 72)
+        print(result.format())
+        print(f"[{name}: {elapsed:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Per-domain server power accounting (the Figure 9 analysis).
+
+Combines the clocked-domain power models, the DRAM power model and the
+untouchable 'other' watts into the total server power at an operating
+point, and reports per-domain and total savings between two points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.safepoints import SafeOperatingPoint
+from repro.dram.power import DramPowerModel
+from repro.errors import ConfigurationError
+from repro.soc.corners import NOMINAL_PMD_MV, NOMINAL_SOC_MV
+from repro.soc.xgene2 import XGene2Platform
+from repro.units import NOMINAL_REFRESH_S, percent
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class ServerPowerReport:
+    """Nominal-vs-operating-point power comparison."""
+
+    nominal_w: Dict[str, float]
+    scaled_w: Dict[str, float]
+
+    @property
+    def total_nominal_w(self) -> float:
+        return sum(self.nominal_w.values())
+
+    @property
+    def total_scaled_w(self) -> float:
+        return sum(self.scaled_w.values())
+
+    @property
+    def total_savings_pct(self) -> float:
+        return percent(self.total_nominal_w, self.total_scaled_w)
+
+    def domain_savings_pct(self, domain: str) -> float:
+        if domain not in self.nominal_w:
+            raise ConfigurationError(f"unknown domain {domain!r}")
+        return percent(self.nominal_w[domain], self.scaled_w[domain])
+
+    def rows(self):
+        """(domain, nominal W, scaled W, savings %) rows for printing."""
+        for domain in self.nominal_w:
+            yield (domain, self.nominal_w[domain], self.scaled_w[domain],
+                   self.domain_savings_pct(domain))
+
+
+def server_power_report(platform: XGene2Platform, workload: Workload,
+                        point: SafeOperatingPoint,
+                        dram_model: DramPowerModel = None,
+                        utilisation: float = 1.0) -> ServerPowerReport:
+    """Account server power at nominal vs a safe operating point.
+
+    The DRAM profile of ``workload`` supplies the bandwidth term; the
+    'OTHER' domain (fans, board, management) is untouched by any knob.
+    """
+    if workload.dram is None:
+        raise ConfigurationError(f"workload {workload.name} has no DRAM profile")
+    dram_model = dram_model or DramPowerModel()
+    bandwidth = workload.dram.bandwidth_gbs
+
+    nominal = {
+        "PMD": platform.pmd_power.watts(NOMINAL_PMD_MV, utilisation=utilisation),
+        "SoC": platform.soc_power.watts(NOMINAL_SOC_MV, utilisation=utilisation),
+        "DRAM": dram_model.total_w(NOMINAL_REFRESH_S, bandwidth),
+        "OTHER": platform.other_watts,
+    }
+    scaled = {
+        "PMD": platform.pmd_power.watts(point.pmd_mv, utilisation=utilisation),
+        "SoC": platform.soc_power.watts(point.soc_mv, utilisation=utilisation),
+        "DRAM": dram_model.total_w(point.trefp_s, bandwidth),
+        "OTHER": platform.other_watts,
+    }
+    return ServerPowerReport(nominal_w=nominal, scaled_w=scaled)

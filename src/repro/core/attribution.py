@@ -1,0 +1,134 @@
+"""Failure attribution: cache SRAM vs pipeline logic.
+
+The paper (Section I): because the CPU pipeline and the cache memories
+share one voltage domain, "we can identify whether the chip failures
+rise from the cache memories or from pipeline logic by crafting
+synthetic programs that specifically target components in both regions".
+
+This module implements that diagnostic flow:
+
+1. run each component micro-virus down a voltage ladder and record the
+   voltage at which it first trips (its component's effective Vmin) --
+   each virus sensitizes its target structure through its
+   ``residency_bias_mv``, exposing the component slightly earlier than a
+   generic workload would;
+2. combine with the SRAM fault model's array-level Vmin estimates;
+3. attribute the chip's failure onset to whichever region (SRAM arrays
+   vs datapath/control logic) trips at the higher voltage, and report
+   the per-component ladder the diagnosis rests on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cpu.sram import SramFaultModel
+from repro.errors import SearchError
+from repro.rand import SeedLike
+from repro.soc.chip import Chip
+from repro.soc.topology import CoreId
+from repro.viruses.components import (
+    ComponentVirus,
+    TargetComponent,
+    all_component_viruses,
+)
+
+
+class FailureRegion(enum.Enum):
+    """The two voltage-domain regions the paper distinguishes."""
+
+    CACHE_SRAM = "cache_sram"
+    PIPELINE_LOGIC = "pipeline_logic"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Which region each micro-virus target belongs to.
+REGION_OF_TARGET: Dict[TargetComponent, FailureRegion] = {
+    TargetComponent.L1I: FailureRegion.CACHE_SRAM,
+    TargetComponent.L1D: FailureRegion.CACHE_SRAM,
+    TargetComponent.L2: FailureRegion.CACHE_SRAM,
+    TargetComponent.INT_ALU: FailureRegion.PIPELINE_LOGIC,
+    TargetComponent.FP_ALU: FailureRegion.PIPELINE_LOGIC,
+}
+
+
+@dataclass(frozen=True)
+class ComponentVminEstimate:
+    """Effective failure-onset voltage of one isolated component."""
+
+    target: TargetComponent
+    region: FailureRegion
+    vmin_mv: float
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """Outcome of the diagnostic campaign on one chip."""
+
+    chip_serial: str
+    estimates: Tuple[ComponentVminEstimate, ...]
+    sram_array_vmin_mv: float
+
+    def region_vmin_mv(self, region: FailureRegion) -> float:
+        """Highest onset voltage among the region's components."""
+        values = [e.vmin_mv for e in self.estimates if e.region is region]
+        if region is FailureRegion.CACHE_SRAM:
+            values.append(self.sram_array_vmin_mv)
+        if not values:
+            raise SearchError(f"no estimates for region {region}")
+        return max(values)
+
+    @property
+    def first_failing_region(self) -> FailureRegion:
+        """The region that trips first as voltage drops."""
+        sram = self.region_vmin_mv(FailureRegion.CACHE_SRAM)
+        logic = self.region_vmin_mv(FailureRegion.PIPELINE_LOGIC)
+        return FailureRegion.CACHE_SRAM if sram > logic \
+            else FailureRegion.PIPELINE_LOGIC
+
+    @property
+    def region_gap_mv(self) -> float:
+        """Separation between the two regions' onsets (diagnosis confidence)."""
+        return abs(self.region_vmin_mv(FailureRegion.CACHE_SRAM)
+                   - self.region_vmin_mv(FailureRegion.PIPELINE_LOGIC))
+
+    def ladder(self) -> List[ComponentVminEstimate]:
+        """All component estimates, highest onset first."""
+        return sorted(self.estimates, key=lambda e: e.vmin_mv, reverse=True)
+
+
+def _component_vmin(chip: Chip, core: CoreId, virus: ComponentVirus,
+                    swing: float) -> float:
+    """Effective onset voltage of the virus's target on ``core``.
+
+    The virus's residency bias models how parking all activity in one
+    structure sensitizes that structure's weakest cells/paths beyond
+    what a mixed workload exposes.
+    """
+    return chip.vmin_mv(core, swing) + virus.residency_bias_mv
+
+
+def run_attribution(chip: Chip, core: Optional[CoreId] = None,
+                    sram_model: Optional[SramFaultModel] = None,
+                    seed: SeedLike = None) -> AttributionReport:
+    """Run the full component-isolation campaign on one chip."""
+    from repro.pdn.droop import swing_of_loop
+    core = core if core is not None else chip.strongest_core()
+    sram_model = sram_model or SramFaultModel(seed=seed)
+    estimates = []
+    for target, virus in all_component_viruses().items():
+        swing = swing_of_loop(virus.loop)
+        estimates.append(ComponentVminEstimate(
+            target=target,
+            region=REGION_OF_TARGET[target],
+            vmin_mv=_component_vmin(chip, core, virus, swing),
+        ))
+    return AttributionReport(
+        chip_serial=chip.serial,
+        estimates=tuple(estimates),
+        sram_array_vmin_mv=sram_model.hierarchy_vmin(),
+    )

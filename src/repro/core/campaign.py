@@ -1,0 +1,131 @@
+"""Campaign declaration: the framework's initialization phase.
+
+A *characterization setup* fixes the operating conditions of one run
+(voltage, frequency, target cores). A *characterization run* executes
+one benchmark at one setup. The set of runs executing the same benchmark
+across setups is a *campaign* -- the paper's terminology, kept verbatim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import CampaignError
+from repro.soc.topology import CoreId, NOMINAL_FREQ_GHZ
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class CharacterizationSetup:
+    """Operating conditions for one run."""
+
+    voltage_mv: float
+    freq_ghz: float = NOMINAL_FREQ_GHZ
+    cores: Tuple[CoreId, ...] = (CoreId(0, 0),)
+    repetitions: int = 10   # the paper repeats each experiment ten times
+
+    def __post_init__(self) -> None:
+        if self.voltage_mv <= 0 or self.freq_ghz <= 0:
+            raise CampaignError("voltage and frequency must be positive")
+        if not self.cores:
+            raise CampaignError("a setup must target at least one core")
+        if len(set(c.linear for c in self.cores)) != len(self.cores):
+            raise CampaignError("duplicate cores in setup")
+        if self.repetitions < 1:
+            raise CampaignError("repetitions must be >= 1")
+
+    def describe(self) -> str:
+        cores = ",".join(str(c.linear) for c in self.cores)
+        return f"{self.voltage_mv:.0f}mV@{self.freq_ghz}GHz cores[{cores}]x{self.repetitions}"
+
+
+@dataclass(frozen=True)
+class CharacterizationRun:
+    """One benchmark at one setup -- the unit of execution."""
+
+    workload: Workload
+    setup: CharacterizationSetup
+    run_id: int
+
+    def describe(self) -> str:
+        return f"run{self.run_id}:{self.workload.name}@{self.setup.describe()}"
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """All runs of one benchmark across its setups."""
+
+    workload: Workload
+    runs: Tuple[CharacterizationRun, ...]
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    def setups(self) -> List[CharacterizationSetup]:
+        return [run.setup for run in self.runs]
+
+
+class CampaignPlan:
+    """The initialization phase: declare benchmarks x setups.
+
+    Mirrors the paper's Figure 2 initialization box: "a user can declare
+    a benchmark list with corresponding input datasets to run in any
+    desirable characterization setup".
+    """
+
+    def __init__(self) -> None:
+        self._workloads: List[Workload] = []
+        self._setups: List[CharacterizationSetup] = []
+        self._run_counter = itertools.count()
+
+    def add_workload(self, workload: Workload) -> "CampaignPlan":
+        if any(w.name == workload.name for w in self._workloads):
+            raise CampaignError(f"duplicate workload {workload.name!r}")
+        self._workloads.append(workload)
+        return self
+
+    def add_workloads(self, workloads: Iterable[Workload]) -> "CampaignPlan":
+        for workload in workloads:
+            self.add_workload(workload)
+        return self
+
+    def add_setup(self, setup: CharacterizationSetup) -> "CampaignPlan":
+        self._setups.append(setup)
+        return self
+
+    def add_voltage_sweep(self, start_mv: float, stop_mv: float, step_mv: float,
+                          freq_ghz: float = NOMINAL_FREQ_GHZ,
+                          cores: Sequence[CoreId] = (CoreId(0, 0),),
+                          repetitions: int = 10) -> "CampaignPlan":
+        """Declare a descending voltage ladder of setups."""
+        if step_mv <= 0:
+            raise CampaignError("step must be positive")
+        if stop_mv > start_mv:
+            raise CampaignError("sweep must descend (stop <= start)")
+        voltage = start_mv
+        while voltage >= stop_mv - 1e-9:
+            self.add_setup(CharacterizationSetup(
+                voltage_mv=voltage, freq_ghz=freq_ghz,
+                cores=tuple(cores), repetitions=repetitions,
+            ))
+            voltage -= step_mv
+        return self
+
+    def build(self) -> List[Campaign]:
+        """Materialize the campaign list (one per benchmark)."""
+        if not self._workloads:
+            raise CampaignError("no workloads declared")
+        if not self._setups:
+            raise CampaignError("no setups declared")
+        campaigns = []
+        for workload in self._workloads:
+            runs = tuple(
+                CharacterizationRun(workload=workload, setup=setup,
+                                    run_id=next(self._run_counter))
+                for setup in self._setups
+            )
+            campaigns.append(Campaign(workload=workload, runs=runs))
+        return campaigns

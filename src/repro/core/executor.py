@@ -1,0 +1,155 @@
+"""Campaign execution: runs benchmarks on the simulated chip.
+
+The executor is the bridge between the declarative campaign plan and the
+hardware model: for every characterization run it programs the voltage,
+executes the benchmark's repetitions against the chip's sampled
+behaviour, lets the watchdog account recovery time for crashes/hangs,
+and parses each repetition into a result row.
+
+Multi-core setups take the mix-level resonant swing (phase-decorrelated
+mean, see :mod:`repro.workloads.mixes`); single-core setups use the
+workload's own swing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.campaign import Campaign, CharacterizationRun
+from repro.core.classify import OutcomeCounts, RunLog, classify_run_log, summarize
+from repro.core.results import ResultRow, ResultStore
+from repro.core.watchdog import Watchdog
+from repro.cpu.outcomes import RunOutcome
+from repro.rand import SeedLike, substream
+from repro.soc.chip import Chip
+
+#: Modelled benchmark runtime used for wall-time accounting (seconds).
+NOMINAL_RUNTIME_S = 300.0
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Execution summary of one characterization run (all repetitions)."""
+
+    run: CharacterizationRun
+    counts: OutcomeCounts
+    wall_time_s: float
+
+    @property
+    def all_safe(self) -> bool:
+        return self.counts.all_safe
+
+
+class CampaignExecutor:
+    """Executes campaigns against one chip.
+
+    Parameters
+    ----------
+    chip:
+        The device under test.
+    watchdog:
+        Recovery-ladder model; a fresh default is built when omitted.
+    seed:
+        Seed for the per-repetition outcome sampling stream (independent
+        of the chip's own stream so executors are reproducible).
+    """
+
+    def __init__(self, chip: Chip, watchdog: Optional[Watchdog] = None,
+                 seed: SeedLike = None) -> None:
+        self.chip = chip
+        self.watchdog = watchdog or Watchdog()
+        self._rng = substream(seed, f"executor-{chip.serial}")
+        self.store = ResultStore()
+
+    # ------------------------------------------------------------------
+    # Execution phase
+    # ------------------------------------------------------------------
+    def execute_run(self, run: CharacterizationRun) -> RunRecord:
+        """Execute all repetitions of one characterization run."""
+        setup = run.setup
+        workload = run.workload
+        swing = workload.resonant_swing
+        outcomes: List[RunOutcome] = []
+        total_wall = 0.0
+        for repetition in range(setup.repetitions):
+            worst = RunOutcome.CORRECT
+            ce_count = 0
+            ue_count = 0
+            for core in setup.cores:
+                outcome = self.chip.observe_run(
+                    core, swing, setup.voltage_mv, setup.freq_ghz,
+                    sdc_bias=workload.cpu.sdc_bias, rng=self._rng,
+                )
+                if outcome is RunOutcome.CORRECTED_ERROR:
+                    ce_count += 1
+                if outcome is RunOutcome.UNCORRECTED_ERROR:
+                    ue_count += 1
+                worst = _worse(worst, outcome)
+            log = RunLog(
+                exited_cleanly=worst not in (RunOutcome.CRASH, RunOutcome.HANG),
+                responded_to_watchdog=worst is not RunOutcome.HANG,
+                corrected_errors=ce_count,
+                uncorrected_errors=ue_count,
+                output_matches_golden=None if worst in (RunOutcome.CRASH, RunOutcome.HANG)
+                else worst is not RunOutcome.SDC,
+            )
+            classified = classify_run_log(log)
+            supervised = self.watchdog.supervise(
+                classified, NOMINAL_RUNTIME_S, description=run.describe())
+            total_wall += supervised.wall_time_s
+            outcomes.append(classified)
+            self.store.append(ResultRow(
+                run_id=run.run_id,
+                benchmark=workload.name,
+                suite=workload.cpu.suite,
+                voltage_mv=setup.voltage_mv,
+                freq_ghz=setup.freq_ghz,
+                cores=";".join(str(c.linear) for c in setup.cores),
+                repetition=repetition,
+                outcome=classified.value,
+                verdict=supervised.verdict.value,
+                corrected_errors=ce_count,
+                uncorrected_errors=ue_count,
+                wall_time_s=supervised.wall_time_s,
+            ))
+        return RunRecord(run=run, counts=summarize(outcomes), wall_time_s=total_wall)
+
+    def execute_campaign(self, campaign: Campaign,
+                         stop_on_unsafe: bool = False) -> List[RunRecord]:
+        """Execute a whole campaign (optionally aborting once unsafe).
+
+        ``stop_on_unsafe`` implements the practical optimization real
+        undervolting campaigns use on descending sweeps: once a voltage
+        fails there is no point probing lower ones.
+        """
+        records = []
+        for run in campaign.runs:
+            record = self.execute_run(run)
+            records.append(record)
+            if stop_on_unsafe and not record.all_safe:
+                break
+        return records
+
+    def execute_all(self, campaigns: Iterable[Campaign],
+                    stop_on_unsafe: bool = False) -> List[RunRecord]:
+        """Execute several campaigns back to back."""
+        records: List[RunRecord] = []
+        for campaign in campaigns:
+            records.extend(self.execute_campaign(campaign, stop_on_unsafe))
+        return records
+
+
+_SEVERITY = {
+    RunOutcome.CORRECT: 0,
+    RunOutcome.CORRECTED_ERROR: 1,
+    RunOutcome.UNCORRECTED_ERROR: 2,
+    RunOutcome.SDC: 3,
+    RunOutcome.CRASH: 4,
+    RunOutcome.HANG: 5,
+}
+
+
+def _worse(a: RunOutcome, b: RunOutcome) -> RunOutcome:
+    """The more severe of two outcomes."""
+    return a if _SEVERITY[a] >= _SEVERITY[b] else b

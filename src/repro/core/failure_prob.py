@@ -1,0 +1,175 @@
+"""Failure-probability model from droop history (paper Section IV.D).
+
+The paper sketches its future online mechanism: "based on a chip's
+intrinsic Vmin (this can be determined with idle Vmin test) and the
+history of droops, we can predict the probability of the operating
+voltage crossing the intrinsic Vmin. This leads to predicting the
+probability of failure at various operating voltages."
+
+This module implements that sketch:
+
+- :class:`DroopHistory` accumulates observed droop maxima over fixed
+  observation epochs (what a platform's droop monitor would log);
+- :class:`FailureProbabilityModel` fits a Gumbel (type-I extreme value)
+  law to those epoch maxima -- the standard distribution for maxima of
+  many roughly-independent noise events -- and evaluates, for any
+  candidate operating voltage, the probability that at least one epoch's
+  droop carries the supply below the intrinsic Vmin.
+
+The idle Vmin test itself is trivial in our substrate: it is the chip's
+Vmin at zero resonant swing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SearchError
+from repro.soc.chip import Chip
+from repro.soc.topology import CoreId
+
+#: Euler-Mascheroni constant (Gumbel moment fitting).
+_EULER_GAMMA = 0.5772156649015329
+
+
+def idle_vmin_mv(chip: Chip, core: Optional[CoreId] = None,
+                 freq_ghz: float = 2.4) -> float:
+    """The chip's intrinsic (zero-noise) Vmin -- the paper's idle test.
+
+    With no workload there is no resonant excitation, so the intrinsic
+    limit is the critical voltage plus the core's offset.
+    """
+    core = core if core is not None else chip.strongest_core()
+    return chip.vmin_mv(core, swing=0.0, freq_ghz=freq_ghz)
+
+
+class DroopHistory:
+    """Epoch-maximum droop log.
+
+    Each record is the worst droop (mV) seen during one observation
+    epoch (e.g. one scheduling quantum). The governor feeds this from
+    the workloads it runs; tests feed it synthetically.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise SearchError("history capacity must be positive")
+        self.capacity = capacity
+        self._maxima_mv: List[float] = []
+
+    def record(self, droop_mv: float) -> None:
+        """Log one epoch's maximum droop."""
+        if droop_mv < 0:
+            raise SearchError("droop cannot be negative")
+        self._maxima_mv.append(droop_mv)
+        if len(self._maxima_mv) > self.capacity:
+            self._maxima_mv.pop(0)
+
+    def record_workload(self, chip: Chip, swing: float, epochs: int = 1,
+                        jitter_mv: float = 1.5,
+                        rng: Optional[np.random.Generator] = None) -> None:
+        """Log epochs of a workload running on ``chip``.
+
+        Epoch maxima scatter around the chip's deterministic droop for
+        the workload's swing (alignment of droop events varies epoch to
+        epoch); ``jitter_mv`` sets that scatter.
+        """
+        rng = rng if rng is not None else np.random.default_rng(0)
+        base = chip.droop_mv(swing)
+        for _ in range(epochs):
+            self.record(max(0.0, base + float(rng.gumbel(0.0, jitter_mv))))
+
+    @property
+    def count(self) -> int:
+        return len(self._maxima_mv)
+
+    def maxima_mv(self) -> List[float]:
+        return list(self._maxima_mv)
+
+
+@dataclass(frozen=True)
+class GumbelFit:
+    """Fitted Gumbel(mu, beta) law over epoch-maximum droops."""
+
+    mu_mv: float
+    beta_mv: float
+    samples: int
+
+    def exceedance(self, threshold_mv: float) -> float:
+        """P(one epoch's max droop > threshold)."""
+        if self.beta_mv <= 0:
+            return 1.0 if threshold_mv <= self.mu_mv else 0.0
+        z = (threshold_mv - self.mu_mv) / self.beta_mv
+        return 1.0 - math.exp(-math.exp(-z))
+
+
+class FailureProbabilityModel:
+    """P(failure at voltage V) from intrinsic Vmin + droop history."""
+
+    def __init__(self, intrinsic_vmin_mv: float) -> None:
+        if intrinsic_vmin_mv <= 0:
+            raise SearchError("intrinsic Vmin must be positive")
+        self.intrinsic_vmin_mv = intrinsic_vmin_mv
+        self._fit: Optional[GumbelFit] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._fit is not None
+
+    @property
+    def fit(self) -> GumbelFit:
+        if self._fit is None:
+            raise SearchError("model queried before fit()")
+        return self._fit
+
+    def fit_history(self, history: DroopHistory,
+                    min_samples: int = 16) -> GumbelFit:
+        """Moment-fit a Gumbel law to the logged epoch maxima."""
+        maxima = history.maxima_mv()
+        if len(maxima) < min_samples:
+            raise SearchError(
+                f"need >= {min_samples} epoch maxima, have {len(maxima)}"
+            )
+        mean = float(np.mean(maxima))
+        std = float(np.std(maxima, ddof=1))
+        beta = max(1e-9, std * math.sqrt(6.0) / math.pi)
+        mu = mean - _EULER_GAMMA * beta
+        self._fit = GumbelFit(mu_mv=mu, beta_mv=beta, samples=len(maxima))
+        return self._fit
+
+    def epoch_failure_probability(self, voltage_mv: float) -> float:
+        """P(one epoch's droop carries ``voltage_mv`` below intrinsic Vmin)."""
+        margin = voltage_mv - self.intrinsic_vmin_mv
+        if margin <= 0:
+            return 1.0
+        return self.fit.exceedance(margin)
+
+    def failure_probability(self, voltage_mv: float, epochs: int = 1) -> float:
+        """P(at least one failure over ``epochs`` observation epochs)."""
+        if epochs < 1:
+            raise SearchError("epochs must be >= 1")
+        p = self.epoch_failure_probability(voltage_mv)
+        return 1.0 - (1.0 - p) ** epochs
+
+    def voltage_for_budget(self, failure_budget: float, epochs: int = 1,
+                           lo_mv: float = 700.0, hi_mv: float = 1050.0) -> float:
+        """Lowest voltage whose failure probability stays in budget.
+
+        Bisection over the monotone failure-probability curve -- this is
+        the number an online governor would program.
+        """
+        if not 0.0 < failure_budget < 1.0:
+            raise SearchError("failure budget must be in (0, 1)")
+        if self.failure_probability(hi_mv, epochs) > failure_budget:
+            raise SearchError("budget unreachable even at the maximum voltage")
+        for _ in range(60):
+            mid = (lo_mv + hi_mv) / 2.0
+            if self.failure_probability(mid, epochs) > failure_budget:
+                lo_mv = mid
+            else:
+                hi_mv = mid
+        return hi_mv

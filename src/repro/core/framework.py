@@ -1,0 +1,151 @@
+"""The characterization framework facade (paper Figure 2, end to end).
+
+Ties the three phases together behind one object per board:
+
+- **initialization**: declare workloads + setups through the embedded
+  :class:`~repro.core.campaign.CampaignPlan`;
+- **execution**: run every campaign on every socketed part (the paper's
+  socketed validation boards host one part at a time; the facade cycles
+  through a part list the way the study cycled TTT/TFF/TSS);
+- **parsing**: classify, aggregate into per-chip guardband reports, and
+  emit the final CSV.
+
+This is the highest-level API of the library: one call reproduces a
+whole characterization study over a fleet of parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.executor import CampaignExecutor
+from repro.core.margins import GuardbandReport, guardband_report
+from repro.core.results import ResultStore
+from repro.core.vmin import VminResult, VminSearch
+from repro.errors import CampaignError
+from repro.rand import SeedLike, substream
+from repro.soc.chip import Chip
+from repro.soc.topology import CoreId
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ChipStudy:
+    """Everything the framework produced for one part."""
+
+    chip: Chip
+    vmin_results: List[VminResult] = field(default_factory=list)
+    virus_result: Optional[VminResult] = None
+    store: Optional[ResultStore] = None
+
+    @property
+    def report(self) -> GuardbandReport:
+        if not self.vmin_results:
+            raise CampaignError(f"{self.chip.serial}: no Vmin results yet")
+        return guardband_report(self.chip.serial, self.chip.corner.value,
+                                self.vmin_results, self.virus_result)
+
+
+class CharacterizationFramework:
+    """One study: a workload list characterized across a part fleet.
+
+    Parameters
+    ----------
+    chips:
+        The socketed parts, in characterization order.
+    repetitions / step_mv:
+        Vmin-search settings (10 repetitions per the paper).
+    seed:
+        Base seed; each part gets an independent substream.
+    """
+
+    def __init__(self, chips: Sequence[Chip], repetitions: int = 10,
+                 step_mv: float = 5.0, seed: SeedLike = None) -> None:
+        if not chips:
+            raise CampaignError("need at least one chip")
+        serials = [chip.serial for chip in chips]
+        if len(set(serials)) != len(serials):
+            raise CampaignError("duplicate chip serials in the fleet")
+        self.chips = list(chips)
+        self.repetitions = repetitions
+        self.step_mv = step_mv
+        self._seed = seed
+        self._workloads: List[Workload] = []
+        self._virus: Optional[Workload] = None
+        self.studies: Dict[str, ChipStudy] = {}
+
+    # ------------------------------------------------------------------
+    # Initialization phase
+    # ------------------------------------------------------------------
+    def declare_workloads(self, workloads: Sequence[Workload]) -> "CharacterizationFramework":
+        """Declare the benchmark list (the paper's initialization box)."""
+        names = [w.name for w in workloads]
+        if len(set(names)) != len(names):
+            raise CampaignError("duplicate workload names")
+        self._workloads = list(workloads)
+        return self
+
+    def declare_virus(self, virus: Workload) -> "CharacterizationFramework":
+        """Declare the worst-case stimulus measured alongside."""
+        self._virus = virus
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution + parsing phases
+    # ------------------------------------------------------------------
+    def characterize_chip(self, chip: Chip,
+                          cores: Optional[Sequence[CoreId]] = None) -> ChipStudy:
+        """Run the full study on one part."""
+        if not self._workloads:
+            raise CampaignError("no workloads declared")
+        cores = tuple(cores) if cores is not None else (chip.strongest_core(),)
+        executor = CampaignExecutor(
+            chip, seed=substream(self._seed, f"framework-{chip.serial}"))
+        search = VminSearch(executor, step_mv=self.step_mv,
+                            repetitions=self.repetitions)
+        study = ChipStudy(chip=chip)
+        study.vmin_results = search.search_suite(self._workloads, cores=cores)
+        if self._virus is not None:
+            study.virus_result = search.search(self._virus, cores=cores)
+        study.store = executor.store
+        self.studies[chip.serial] = study
+        return study
+
+    def run(self, cores: Optional[Sequence[CoreId]] = None) -> Dict[str, ChipStudy]:
+        """Characterize the whole fleet; returns studies by serial."""
+        for chip in self.chips:
+            self.characterize_chip(chip, cores=cores)
+        return self.studies
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def reports(self) -> Dict[str, GuardbandReport]:
+        """Per-part guardband reports (run() must have completed)."""
+        if not self.studies:
+            raise CampaignError("framework has not run yet")
+        return {serial: study.report for serial, study in self.studies.items()}
+
+    def merged_csv_text(self) -> str:
+        """The study's final CSV across every part.
+
+        Rows gain a leading ``chip`` column identifying the part.
+        """
+        if not self.studies:
+            raise CampaignError("framework has not run yet")
+        lines: List[str] = []
+        for serial in sorted(self.studies):
+            store = self.studies[serial].store
+            body = store.to_csv_text().splitlines()
+            if not lines:
+                lines.append("chip," + body[0])
+            lines.extend(f"{serial},{row}" for row in body[1:])
+        return "\n".join(lines) + "\n"
+
+    def vmin_table(self) -> Dict[str, Dict[str, float]]:
+        """serial -> workload -> safe Vmin (the Figure 4 data layout)."""
+        return {
+            serial: {r.workload: r.safe_vmin_mv for r in study.vmin_results}
+            for serial, study in self.studies.items()
+        }

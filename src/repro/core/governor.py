@@ -1,0 +1,196 @@
+"""Online voltage governor (paper Section IV.D's deployment target).
+
+The paper's stated future aim: "develop a module for predicting the
+hardware behavior and suggesting optimistic 'safe' operating points to
+the Linux governor". This module realizes that loop in simulation:
+
+1. on each scheduling quantum the governor observes the running
+   workload's performance counters and asks the trained
+   :class:`~repro.core.predictor.VminPredictor` for a per-workload Vmin;
+2. it maintains a :class:`~repro.core.failure_prob.DroopHistory` and
+   the Gumbel failure model on top of the chip's intrinsic (idle) Vmin;
+3. the programmed voltage is the highest of (a) the predictor's value,
+   (b) the failure-model's budget voltage, (c) a hard floor -- snapped
+   to the regulator step;
+4. every quantum's outcome is checked against the chip oracle; any
+   unsafe quantum triggers a back-off (raise the rail, widen the
+   margin) -- the safety valve a production governor needs.
+
+The governor is deliberately conservative: its objective is *never* to
+undercut true Vmin while recovering most of the static guardband.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.failure_prob import (
+    DroopHistory,
+    FailureProbabilityModel,
+    idle_vmin_mv,
+)
+from repro.core.predictor import VminPredictor
+from repro.cpu.outcomes import RunOutcome
+from repro.errors import SearchError
+from repro.rand import SeedLike, substream
+from repro.soc.chip import Chip
+from repro.soc.corners import NOMINAL_PMD_MV
+from repro.soc.topology import CoreId
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class QuantumRecord:
+    """One scheduling quantum as seen by the governor."""
+
+    workload: str
+    programmed_mv: float
+    true_vmin_mv: float
+    outcome: RunOutcome
+
+    @property
+    def margin_mv(self) -> float:
+        return self.programmed_mv - self.true_vmin_mv
+
+
+@dataclass
+class GovernorReport:
+    """Aggregate of a governed run."""
+
+    quanta: List[QuantumRecord] = field(default_factory=list)
+    backoffs: int = 0
+
+    @property
+    def unsafe_quanta(self) -> int:
+        return sum(1 for q in self.quanta if not q.outcome.is_safe)
+
+    @property
+    def mean_voltage_mv(self) -> float:
+        if not self.quanta:
+            raise SearchError("empty governor report")
+        return sum(q.programmed_mv for q in self.quanta) / len(self.quanta)
+
+    @property
+    def mean_power_savings_pct(self) -> float:
+        """Average dynamic-power reduction vs the 980 mV nominal."""
+        if not self.quanta:
+            raise SearchError("empty governor report")
+        savings = [1.0 - (q.programmed_mv / NOMINAL_PMD_MV) ** 2
+                   for q in self.quanta]
+        return sum(savings) / len(savings) * 100.0
+
+    @property
+    def min_margin_mv(self) -> float:
+        if not self.quanta:
+            raise SearchError("empty governor report")
+        return min(q.margin_mv for q in self.quanta)
+
+
+class VoltageGovernor:
+    """Per-quantum voltage selection with a safety back-off.
+
+    Parameters
+    ----------
+    chip / core:
+        The governed part and the core whose quanta we schedule.
+    predictor:
+        A trained workload-Vmin predictor.
+    failure_budget:
+        Acceptable per-run failure probability for the droop model.
+    safety_margin_mv:
+        Static margin added on top of every estimate.
+    step_mv:
+        Regulator granularity.
+    floor_mv:
+        Never program below this.
+    """
+
+    def __init__(self, chip: Chip, predictor: VminPredictor,
+                 core: Optional[CoreId] = None,
+                 failure_budget: float = 1e-3,
+                 safety_margin_mv: float = 5.0,
+                 step_mv: float = 5.0, floor_mv: float = 760.0,
+                 seed: SeedLike = None) -> None:
+        if not predictor.fitted:
+            raise SearchError("governor needs a trained predictor")
+        self.chip = chip
+        self.core = core if core is not None else chip.weakest_cores(1)[0]
+        self.predictor = predictor
+        self.failure_budget = failure_budget
+        self.safety_margin_mv = safety_margin_mv
+        self.step_mv = step_mv
+        self.floor_mv = floor_mv
+        self._rng = substream(seed, "governor")
+        self._backoff_mv = 0.0
+        self.intrinsic_vmin_mv = idle_vmin_mv(chip, self.core)
+        # Droop behaviour is workload-dependent (the paper's premise), so
+        # the governor keeps one history + failure model per workload; a
+        # chip-wide aggregate would force every phase to the worst
+        # phase's requirement and erase the tracking benefit.
+        self.histories: dict = {}
+        self.failure_models: dict = {}
+        self.report = GovernorReport()
+
+    def _model_for(self, workload_name: str) -> FailureProbabilityModel:
+        if workload_name not in self.failure_models:
+            self.failure_models[workload_name] = FailureProbabilityModel(
+                self.intrinsic_vmin_mv)
+        return self.failure_models[workload_name]
+
+    def _history_for(self, workload_name: str) -> DroopHistory:
+        if workload_name not in self.histories:
+            self.histories[workload_name] = DroopHistory()
+        return self.histories[workload_name]
+
+    # ------------------------------------------------------------------
+    # Voltage selection
+    # ------------------------------------------------------------------
+    def _snap_up(self, value_mv: float) -> float:
+        import math
+        snapped = math.ceil(value_mv / self.step_mv - 1e-9) * self.step_mv
+        return min(max(snapped, self.floor_mv), NOMINAL_PMD_MV)
+
+    def select_voltage_mv(self, workload: Workload) -> float:
+        """The rail the governor would program for ``workload`` now."""
+        candidates = [self.predictor.predict_mv(workload) + self.safety_margin_mv]
+        model = self._model_for(workload.name)
+        if model.fitted:
+            candidates.append(model.voltage_for_budget(self.failure_budget))
+        return self._snap_up(max(candidates) + self._backoff_mv)
+
+    # ------------------------------------------------------------------
+    # Governed execution
+    # ------------------------------------------------------------------
+    def run_quantum(self, workload: Workload) -> QuantumRecord:
+        """Execute one scheduling quantum under governor control."""
+        voltage = self.select_voltage_mv(workload)
+        outcome = self.chip.observe_run(
+            self.core, workload.resonant_swing, voltage,
+            sdc_bias=workload.cpu.sdc_bias, rng=self._rng)
+        record = QuantumRecord(
+            workload=workload.name,
+            programmed_mv=voltage,
+            true_vmin_mv=self.chip.vmin_mv(self.core, workload.resonant_swing),
+            outcome=outcome,
+        )
+        self.report.quanta.append(record)
+        # Feed this workload's droop history with the realized excitation.
+        history = self._history_for(workload.name)
+        history.record_workload(self.chip, workload.resonant_swing,
+                                epochs=1, rng=self._rng)
+        if history.count >= 16:
+            self._model_for(workload.name).fit_history(history)
+        if not outcome.is_safe:
+            # Safety valve: widen the margin for everything that follows.
+            self._backoff_mv += 2.0 * self.step_mv
+            self.report.backoffs += 1
+        return record
+
+    def run_schedule(self, schedule: Sequence[Workload]) -> GovernorReport:
+        """Run a whole workload schedule; returns the accumulated report."""
+        if not schedule:
+            raise SearchError("empty schedule")
+        for workload in schedule:
+            self.run_quantum(workload)
+        return self.report

@@ -1,0 +1,133 @@
+"""Result storage: per-run rows to a final CSV.
+
+The framework's parsing phase "provides a fine-grained classification of
+the effects observed for each characterization run" and emits a final
+CSV. :class:`ResultStore` keeps the rows in memory, supports filtered
+queries (per benchmark, per setup), and serializes to CSV text or a
+file.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.cpu.outcomes import RunOutcome
+from repro.errors import CampaignError
+
+#: Canonical column order of the final CSV.
+RESULT_FIELDS = (
+    "run_id", "benchmark", "suite", "voltage_mv", "freq_ghz", "cores",
+    "repetition", "outcome", "verdict", "corrected_errors",
+    "uncorrected_errors", "wall_time_s",
+)
+
+
+def result_fields() -> List[str]:
+    """The CSV schema, as a list (callers may extend with extras)."""
+    return list(RESULT_FIELDS)
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One repetition of one characterization run."""
+
+    run_id: int
+    benchmark: str
+    suite: str
+    voltage_mv: float
+    freq_ghz: float
+    cores: str
+    repetition: int
+    outcome: str
+    verdict: str
+    corrected_errors: int
+    uncorrected_errors: int
+    wall_time_s: float
+
+
+class ResultStore:
+    """Append-only store of result rows with CSV export."""
+
+    def __init__(self) -> None:
+        self._rows: List[ResultRow] = []
+
+    def append(self, row: ResultRow) -> None:
+        self._rows.append(row)
+
+    def extend(self, rows: Iterable[ResultRow]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self, benchmark: Optional[str] = None,
+             voltage_mv: Optional[float] = None,
+             predicate: Optional[Callable[[ResultRow], bool]] = None) -> List[ResultRow]:
+        """Filtered view of the stored rows."""
+        selected = self._rows
+        if benchmark is not None:
+            selected = [r for r in selected if r.benchmark == benchmark]
+        if voltage_mv is not None:
+            selected = [r for r in selected if abs(r.voltage_mv - voltage_mv) < 1e-9]
+        if predicate is not None:
+            selected = [r for r in selected if predicate(r)]
+        return list(selected)
+
+    def outcomes(self, benchmark: str, voltage_mv: float) -> List[RunOutcome]:
+        """Outcome enums for one (benchmark, voltage) cell."""
+        return [RunOutcome(r.outcome)
+                for r in self.rows(benchmark=benchmark, voltage_mv=voltage_mv)]
+
+    def benchmarks(self) -> List[str]:
+        return sorted({r.benchmark for r in self._rows})
+
+    def voltages(self, benchmark: Optional[str] = None) -> List[float]:
+        rows = self.rows(benchmark=benchmark)
+        return sorted({r.voltage_mv for r in rows}, reverse=True)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_csv_text(self) -> str:
+        """Serialize all rows as CSV text (header included)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=result_fields())
+        writer.writeheader()
+        for row in self._rows:
+            writer.writerow(asdict(row))
+        return buffer.getvalue()
+
+    def write_csv(self, path: str) -> int:
+        """Write the final CSV to ``path``; returns the row count."""
+        text = self.to_csv_text()
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+        return len(self._rows)
+
+    @classmethod
+    def from_csv_text(cls, text: str) -> "ResultStore":
+        """Parse a CSV produced by :meth:`to_csv_text`."""
+        store = cls()
+        reader = csv.DictReader(io.StringIO(text))
+        if reader.fieldnames is None or set(RESULT_FIELDS) - set(reader.fieldnames):
+            raise CampaignError("CSV is missing required result columns")
+        for record in reader:
+            store.append(ResultRow(
+                run_id=int(record["run_id"]),
+                benchmark=record["benchmark"],
+                suite=record["suite"],
+                voltage_mv=float(record["voltage_mv"]),
+                freq_ghz=float(record["freq_ghz"]),
+                cores=record["cores"],
+                repetition=int(record["repetition"]),
+                outcome=record["outcome"],
+                verdict=record["verdict"],
+                corrected_errors=int(record["corrected_errors"]),
+                uncorrected_errors=int(record["uncorrected_errors"]),
+                wall_time_s=float(record["wall_time_s"]),
+            ))
+        return store

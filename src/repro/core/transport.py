@@ -1,0 +1,218 @@
+"""Result transports: the Figure 2 "Serial / Network -> Cloud" path.
+
+The framework's execution phase ships raw run logs off the board --
+over the serial console when the OS is wedged, over the network
+otherwise -- into a cloud store the parsing phase reads. Since runs
+deliberately crash the machine, the transports must tolerate corruption,
+loss and duplicated retransmissions.
+
+This module models that plumbing:
+
+- :class:`SerialLink` -- frames each row as a checksummed line over a
+  bit-error-prone UART; the receiver drops bad frames and the sender
+  retries a bounded number of times;
+- :class:`NetworkLink` -- packetized transfer with seeded packet loss
+  and bounded retries (at-least-once delivery: duplicates possible);
+- :class:`CloudStore` -- the receiving end; idempotent on the
+  ``(run_id, repetition)`` key so at-least-once transports converge to
+  exactly-once contents;
+- :class:`ResultUploader` -- drains a :class:`ResultStore` through any
+  link into the cloud store and reports delivery statistics.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.results import ResultRow, ResultStore, result_fields
+from repro.errors import CampaignError
+from repro.rand import SeedLike, substream
+
+
+def encode_row(row: ResultRow) -> str:
+    """Serialize one row as a CSV line (no header, no newline)."""
+    record = asdict(row)
+    return ",".join(str(record[name]) for name in result_fields())
+
+
+def decode_row(line: str) -> ResultRow:
+    """Parse a line produced by :func:`encode_row`."""
+    parts = line.split(",")
+    names = result_fields()
+    if len(parts) != len(names):
+        raise CampaignError(f"malformed row: {len(parts)} fields")
+    record = dict(zip(names, parts))
+    return ResultRow(
+        run_id=int(record["run_id"]),
+        benchmark=record["benchmark"],
+        suite=record["suite"],
+        voltage_mv=float(record["voltage_mv"]),
+        freq_ghz=float(record["freq_ghz"]),
+        cores=record["cores"],
+        repetition=int(record["repetition"]),
+        outcome=record["outcome"],
+        verdict=record["verdict"],
+        corrected_errors=int(record["corrected_errors"]),
+        uncorrected_errors=int(record["uncorrected_errors"]),
+        wall_time_s=float(record["wall_time_s"]),
+    )
+
+
+@dataclass
+class TransportStats:
+    """Delivery accounting of one link."""
+
+    attempts: int = 0
+    delivered: int = 0
+    corrupted: int = 0
+    dropped: int = 0
+    gave_up: int = 0
+
+    @property
+    def retry_rate(self) -> float:
+        if self.delivered == 0:
+            return 0.0
+        return (self.attempts - self.delivered) / self.delivered
+
+
+class CloudStore:
+    """Idempotent receiving store keyed by ``(run_id, repetition)``."""
+
+    def __init__(self) -> None:
+        self._rows: Dict[Tuple[int, int], ResultRow] = {}
+        self.duplicates = 0
+
+    def receive(self, row: ResultRow) -> None:
+        """Accept a row; duplicate keys are counted and ignored."""
+        key = (row.run_id, row.repetition)
+        if key in self._rows:
+            self.duplicates += 1
+            return
+        self._rows[key] = row
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def to_store(self) -> ResultStore:
+        """Materialize a :class:`ResultStore` in key order."""
+        store = ResultStore()
+        for key in sorted(self._rows):
+            store.append(self._rows[key])
+        return store
+
+
+class SerialLink:
+    """Checksummed line framing over a bit-error-prone UART.
+
+    Every frame is ``payload|crc32``; the receiver recomputes the CRC
+    and NAKs mismatches. The sender retries up to ``max_retries`` times.
+    """
+
+    def __init__(self, store: CloudStore, bit_error_rate: float = 1e-5,
+                 max_retries: int = 8, seed: SeedLike = None) -> None:
+        if not 0.0 <= bit_error_rate < 1.0:
+            raise CampaignError("bit error rate must be in [0, 1)")
+        if max_retries < 0:
+            raise CampaignError("max_retries cannot be negative")
+        self.store = store
+        self.bit_error_rate = bit_error_rate
+        self.max_retries = max_retries
+        self._rng = substream(seed, "serial-link")
+        self.stats = TransportStats()
+
+    def _transmit(self, frame: bytes) -> bytes:
+        """Push a frame through the noisy UART, flipping unlucky bits."""
+        n_bits = len(frame) * 8
+        flips = self._rng.binomial(n_bits, self.bit_error_rate)
+        if flips == 0:
+            return frame
+        data = bytearray(frame)
+        for _ in range(flips):
+            position = int(self._rng.integers(n_bits))
+            data[position // 8] ^= 1 << (position % 8)
+        return bytes(data)
+
+    def send(self, row: ResultRow) -> bool:
+        """Deliver one row; returns False if every retry failed."""
+        payload = encode_row(row).encode("utf-8")
+        checksum = zlib.crc32(payload)
+        frame = payload + b"|" + f"{checksum:08x}".encode("ascii")
+        for _attempt in range(self.max_retries + 1):
+            self.stats.attempts += 1
+            received = self._transmit(frame)
+            body, _, crc_text = received.rpartition(b"|")
+            try:
+                crc_ok = int(crc_text, 16) == zlib.crc32(body)
+                decoded = decode_row(body.decode("utf-8")) if crc_ok else None
+            except (ValueError, UnicodeDecodeError, CampaignError):
+                crc_ok, decoded = False, None
+            if crc_ok and decoded is not None:
+                self.store.receive(decoded)
+                self.stats.delivered += 1
+                return True
+            self.stats.corrupted += 1
+        self.stats.gave_up += 1
+        return False
+
+
+class NetworkLink:
+    """Packetized transfer with seeded loss and bounded retries.
+
+    Loss drops the whole packet (the row); the sender retries until the
+    acknowledgement arrives or the budget runs out. Acknowledgements can
+    be lost too, producing duplicate deliveries -- which the idempotent
+    :class:`CloudStore` absorbs.
+    """
+
+    def __init__(self, store: CloudStore, loss_rate: float = 0.05,
+                 ack_loss_rate: float = 0.02, max_retries: int = 8,
+                 seed: SeedLike = None) -> None:
+        for name, rate in (("loss_rate", loss_rate),
+                           ("ack_loss_rate", ack_loss_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise CampaignError(f"{name} must be in [0, 1)")
+        if max_retries < 0:
+            raise CampaignError("max_retries cannot be negative")
+        self.store = store
+        self.loss_rate = loss_rate
+        self.ack_loss_rate = ack_loss_rate
+        self.max_retries = max_retries
+        self._rng = substream(seed, "network-link")
+        self.stats = TransportStats()
+
+    def send(self, row: ResultRow) -> bool:
+        """Deliver one row with retry-until-acked semantics."""
+        for _attempt in range(self.max_retries + 1):
+            self.stats.attempts += 1
+            if self._rng.random() < self.loss_rate:
+                self.stats.dropped += 1
+                continue
+            self.store.receive(row)       # packet arrived
+            self.stats.delivered += 1
+            if self._rng.random() < self.ack_loss_rate:
+                # Ack lost: the sender will retransmit a duplicate.
+                self.stats.dropped += 1
+                continue
+            return True
+        self.stats.gave_up += 1
+        # The row may still have arrived on an attempt whose ack died.
+        return (row.run_id, row.repetition) in self.store._rows
+
+
+class ResultUploader:
+    """Drains a local ResultStore through a link into the cloud."""
+
+    def __init__(self, link) -> None:
+        self.link = link
+
+    def upload(self, store: ResultStore) -> Tuple[int, int]:
+        """Push every row; returns ``(sent_ok, failed)``."""
+        ok = failed = 0
+        for row in store.rows():
+            if self.link.send(row):
+                ok += 1
+            else:
+                failed += 1
+        return ok, failed

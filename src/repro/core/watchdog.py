@@ -1,0 +1,110 @@
+"""Watchdog monitor, reset switch and power switch.
+
+The execution phase of the framework (paper Figure 2) must survive runs
+that crash or wedge the machine: a watchdog notices missing heartbeats,
+the reset switch reboots a crashed OS, and the power switch hard-cycles
+a board that no longer responds to reset. This module models that
+recovery ladder and accounts the recovery time each path costs -- the
+reason real undervolting campaigns are "time-consuming" per the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cpu.outcomes import RunOutcome
+from repro.errors import ConfigurationError
+
+
+class WatchdogVerdict(enum.Enum):
+    """How a run terminated from the harness's point of view."""
+
+    COMPLETED = "completed"          # benchmark exited by itself
+    TIMEOUT_RESET = "timeout_reset"  # hang -> reset switch recovered it
+    TIMEOUT_POWER = "timeout_power"  # reset failed -> power switch cycle
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery action taken by the harness."""
+
+    time_s: float
+    verdict: WatchdogVerdict
+    run_description: str
+
+
+@dataclass
+class Watchdog:
+    """Heartbeat supervisor with a two-stage recovery ladder.
+
+    Parameters
+    ----------
+    timeout_s:
+        Silence threshold before declaring a hang.
+    reset_time_s:
+        Cost of a reset-switch reboot (OS boot time).
+    power_cycle_time_s:
+        Cost of a full power cycle (board bring-up + OS boot).
+    reset_success_rate:
+        Fraction of hangs the reset switch recovers; the remainder
+        escalate to the power switch. Deterministic alternation rather
+        than randomness keeps campaign timing reproducible.
+    """
+
+    timeout_s: float = 120.0
+    reset_time_s: float = 45.0
+    power_cycle_time_s: float = 90.0
+    reset_success_rate: float = 0.8
+    _events: List[RecoveryEvent] = field(default_factory=list, init=False)
+    _hang_counter: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.timeout_s, self.reset_time_s, self.power_cycle_time_s) <= 0:
+            raise ConfigurationError("watchdog times must be positive")
+        if not 0.0 <= self.reset_success_rate <= 1.0:
+            raise ConfigurationError("reset_success_rate must be in [0, 1]")
+
+    def supervise(self, outcome: RunOutcome, nominal_runtime_s: float,
+                  now_s: float = 0.0, description: str = "") -> "SupervisedRun":
+        """Account the wall time and recovery path of one run outcome."""
+        if nominal_runtime_s <= 0:
+            raise ConfigurationError("nominal runtime must be positive")
+        if not outcome.needs_reset:
+            return SupervisedRun(outcome=outcome,
+                                 verdict=WatchdogVerdict.COMPLETED,
+                                 wall_time_s=nominal_runtime_s)
+        # A hang burns the whole timeout; a crash is noticed at the
+        # point of failure (modelled as half the nominal runtime).
+        stall = self.timeout_s if outcome is RunOutcome.HANG \
+            else nominal_runtime_s * 0.5
+        self._hang_counter += 1
+        # Deterministic escalation: every k-th hang defeats the reset
+        # switch, where k reflects the configured success rate.
+        escalate_every = max(1, round(1.0 / max(1e-9, 1.0 - self.reset_success_rate))) \
+            if self.reset_success_rate < 1.0 else 0
+        if escalate_every and self._hang_counter % escalate_every == 0:
+            verdict = WatchdogVerdict.TIMEOUT_POWER
+            recovery = self.reset_time_s + self.power_cycle_time_s
+        else:
+            verdict = WatchdogVerdict.TIMEOUT_RESET
+            recovery = self.reset_time_s
+        self._events.append(RecoveryEvent(now_s, verdict, description))
+        return SupervisedRun(outcome=outcome, verdict=verdict,
+                             wall_time_s=stall + recovery)
+
+    def recovery_events(self) -> List[RecoveryEvent]:
+        return list(self._events)
+
+
+@dataclass(frozen=True)
+class SupervisedRun:
+    """A run outcome plus its harness-level verdict and wall time."""
+
+    outcome: RunOutcome
+    verdict: WatchdogVerdict
+    wall_time_s: float

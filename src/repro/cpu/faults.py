@@ -1,0 +1,83 @@
+"""Fault-site to run-outcome classification.
+
+When a voltage violation produces a bit error, *where* the bit lives
+determines what software observes. This module encodes the mapping used
+by the paper's framework (Section III): ECC-protected arrays yield
+correctable/uncorrectable errors depending on multiplicity; unprotected
+datapath state yields silent data corruption; instruction/control state
+yields crashes or hangs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu.outcomes import RunOutcome
+
+
+class FaultSite(enum.Enum):
+    """Structural location of an injected/observed bit error."""
+
+    L1D_DATA = "l1d_data"          # SECDED-protected on X-Gene2
+    L1I_DATA = "l1i_data"          # parity-protected (detect, refetch)
+    L2_DATA = "l2_data"            # SECDED-protected
+    L3_DATA = "l3_data"            # SECDED-protected
+    TLB = "tlb"                    # parity; miss is recoverable
+    REGISTER_FILE = "register"     # unprotected architectural state
+    ALU_DATAPATH = "alu"           # combinational logic, unprotected
+    FP_DATAPATH = "fp"             # combinational logic, unprotected
+    CONTROL_LOGIC = "control"      # fetch/decode/sequencing state
+    CACHE_TAG = "tag"              # tags: a flip misroutes a line
+
+    @property
+    def ecc_protected(self) -> bool:
+        return self in (FaultSite.L1D_DATA, FaultSite.L2_DATA, FaultSite.L3_DATA)
+
+    @property
+    def parity_protected(self) -> bool:
+        return self in (FaultSite.L1I_DATA, FaultSite.TLB)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault occurrence: where, and how many bits within one word."""
+
+    site: FaultSite
+    bits_in_word: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bits_in_word < 1:
+            raise ValueError("a fault event flips at least one bit")
+
+
+def classify_fault(event: FaultEvent) -> RunOutcome:
+    """Map a fault event to the run outcome software observes.
+
+    Rules (matching the platform's protection scheme):
+
+    - SECDED arrays: 1 bit -> corrected (CE); 2 bits -> detected
+      uncorrectable (UE); >2 bits -> may alias to a valid codeword, so
+      treated as SDC (the pessimistic reading used in the paper's SDC
+      accounting).
+    - Parity arrays: any odd multiplicity is detected and recovered by
+      refetch (CE-equivalent); even multiplicities escape parity -> SDC
+      for data, crash for instruction bits that corrupt control flow.
+    - Unprotected datapath/register state -> SDC.
+    - Control logic / cache tags -> crash (illegal state, wild access).
+    """
+    site, bits = event.site, event.bits_in_word
+    if site.ecc_protected:
+        if bits == 1:
+            return RunOutcome.CORRECTED_ERROR
+        if bits == 2:
+            return RunOutcome.UNCORRECTED_ERROR
+        return RunOutcome.SDC
+    if site is FaultSite.L1I_DATA:
+        return RunOutcome.CORRECTED_ERROR if bits % 2 == 1 else RunOutcome.CRASH
+    if site is FaultSite.TLB:
+        return RunOutcome.CORRECTED_ERROR if bits % 2 == 1 else RunOutcome.SDC
+    if site in (FaultSite.REGISTER_FILE, FaultSite.ALU_DATAPATH, FaultSite.FP_DATAPATH):
+        return RunOutcome.SDC
+    # CONTROL_LOGIC, CACHE_TAG
+    return RunOutcome.CRASH

@@ -1,0 +1,176 @@
+"""Low-voltage SRAM failure model for the cache hierarchy.
+
+Because the X-Gene2's pipeline and caches share one voltage domain
+(Section I), a chip failure at low voltage may originate either in cache
+SRAM cells or in pipeline logic. The component micro-viruses of
+:mod:`repro.viruses.components` disambiguate the two by isolating
+individual structures; this module supplies the SRAM half of that story.
+
+Each :class:`SramArray` (an L1I, L1D or L2 instance) has a population of
+bit cells whose individual minimum retention voltages follow a normal
+distribution; lowering the supply below a cell's Vmin makes it unreliable.
+The model exposes the expected number of failing bits at a voltage and
+samples concrete failing-bit addresses deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.rand import SeedLike, substream
+
+#: Mean bit-cell Vmin (mV) for the 28nm 6T SRAM arrays, calibrated below
+#: the logic v_crit so that under *nominal-noise* workloads logic paths
+#: fail first, but cache viruses (which quiet the pipeline) expose SRAM.
+DEFAULT_CELL_VMIN_MEAN_MV = 810.0
+#: Cell-to-cell sigma of bit Vmin (mV).
+DEFAULT_CELL_VMIN_SIGMA_MV = 12.0
+
+
+@dataclass(frozen=True)
+class SramBitFailure:
+    """One failing bit: which set/way/bit position inside the array."""
+
+    set_index: int
+    way: int
+    bit: int
+
+
+class SramArray:
+    """A cache SRAM array with a seeded cell-Vmin population.
+
+    Parameters
+    ----------
+    name:
+        Array identity, e.g. ``"core0.l1d"``.
+    size_bytes, ways, line_bytes:
+        Geometry; sets are derived.
+    cell_vmin_mean_mv / cell_vmin_sigma_mv:
+        Parameters of the per-cell minimum-operating-voltage normal
+        distribution.
+    seed:
+        Deterministic seed for this array's cell population.
+    """
+
+    def __init__(self, name: str, size_bytes: int, ways: int, line_bytes: int = 64,
+                 cell_vmin_mean_mv: float = DEFAULT_CELL_VMIN_MEAN_MV,
+                 cell_vmin_sigma_mv: float = DEFAULT_CELL_VMIN_SIGMA_MV,
+                 seed: SeedLike = None) -> None:
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by ways*line"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.sets = size_bytes // (ways * line_bytes)
+        self.cell_vmin_mean_mv = cell_vmin_mean_mv
+        self.cell_vmin_sigma_mv = cell_vmin_sigma_mv
+        self._rng = substream(seed, f"sram-{name}")
+
+    @property
+    def total_bits(self) -> int:
+        return self.size_bytes * 8
+
+    def failure_probability(self, voltage_mv: float) -> float:
+        """Per-bit probability of being unreliable at ``voltage_mv``.
+
+        The normal CDF of the cell-Vmin distribution evaluated at the
+        supply voltage: cells whose Vmin exceeds the supply fail.
+        """
+        z = (voltage_mv - self.cell_vmin_mean_mv) / self.cell_vmin_sigma_mv
+        return float(_normal_sf(z))
+
+    def expected_failing_bits(self, voltage_mv: float) -> float:
+        """Expected count of unreliable bits at ``voltage_mv``."""
+        return self.total_bits * self.failure_probability(voltage_mv)
+
+    def sample_failures(self, voltage_mv: float,
+                        max_failures: int = 100_000) -> List[SramBitFailure]:
+        """Draw concrete failing-bit addresses at ``voltage_mv``.
+
+        The count is Poisson-distributed around the expectation; the
+        addresses are uniform over the array. ``max_failures`` caps the
+        sample so deeply-undervolted queries stay tractable (beyond a few
+        thousand failing bits the array is useless anyway).
+        """
+        expected = self.expected_failing_bits(voltage_mv)
+        count = int(min(self._rng.poisson(min(expected, 1e7)), max_failures))
+        failures = []
+        bits_per_line = self.line_bytes * 8
+        for _ in range(count):
+            failures.append(SramBitFailure(
+                set_index=int(self._rng.integers(self.sets)),
+                way=int(self._rng.integers(self.ways)),
+                bit=int(self._rng.integers(bits_per_line)),
+            ))
+        return failures
+
+    def vmin_for_budget(self, max_expected_failures: float = 0.5) -> float:
+        """Lowest voltage keeping expected failing bits under a budget.
+
+        Used to report an array-level Vmin: binary search over voltage.
+        """
+        lo, hi = self.cell_vmin_mean_mv - 8 * self.cell_vmin_sigma_mv, \
+            self.cell_vmin_mean_mv + 10 * self.cell_vmin_sigma_mv
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if self.expected_failing_bits(mid) > max_expected_failures:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
+class SramFaultModel:
+    """The full cache hierarchy's SRAM arrays for one chip.
+
+    Builds L1I/L1D arrays per core and one L2 per PMD with slightly
+    different mean Vmin per array (array-to-array process variation),
+    and answers which array fails first as the voltage drops -- the
+    question the component viruses of the paper are designed to answer.
+    """
+
+    def __init__(self, num_pmds: int = 4, cores_per_pmd: int = 2,
+                 l1_bytes: int = 32 * 1024, l2_bytes: int = 256 * 1024,
+                 array_sigma_mv: float = 4.0, seed: SeedLike = None) -> None:
+        rng = substream(seed, "sram-hierarchy")
+        self.arrays: List[SramArray] = []
+        core = 0
+        for pmd in range(num_pmds):
+            for _lane in range(cores_per_pmd):
+                for kind, ways in (("l1i", 8), ("l1d", 8)):
+                    mean = DEFAULT_CELL_VMIN_MEAN_MV + rng.normal(0.0, array_sigma_mv)
+                    self.arrays.append(SramArray(
+                        f"core{core}.{kind}", l1_bytes, ways,
+                        cell_vmin_mean_mv=mean, seed=seed,
+                    ))
+                core += 1
+            mean = DEFAULT_CELL_VMIN_MEAN_MV + rng.normal(0.0, array_sigma_mv)
+            self.arrays.append(SramArray(
+                f"pmd{pmd}.l2", l2_bytes, 8, cell_vmin_mean_mv=mean, seed=seed,
+            ))
+
+    def array(self, name: str) -> SramArray:
+        """Look up an array by name; raises ``KeyError`` on a bad name."""
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise KeyError(name)
+
+    def weakest_array(self) -> SramArray:
+        """The array whose budgeted Vmin is highest (fails first)."""
+        return max(self.arrays, key=lambda a: a.vmin_for_budget())
+
+    def hierarchy_vmin(self, max_expected_failures: float = 0.5) -> float:
+        """Voltage at which the first array exceeds the failure budget."""
+        return max(a.vmin_for_budget(max_expected_failures) for a in self.arrays)
+
+
+def _normal_sf(z: float) -> float:
+    """Standard-normal survival function via erfc (no scipy dependency)."""
+    import math
+    return 0.5 * math.erfc(z / math.sqrt(2.0))

@@ -1,0 +1,94 @@
+"""DRAM power model with an explicit refresh component.
+
+The DRAM domain's power splits into:
+
+- background (precharge/active standby, PLL, I/O termination) -- fixed;
+- refresh -- proportional to the refresh command rate, i.e. inversely
+  proportional to TREFP;
+- access -- proportional to sustained bandwidth.
+
+Relaxing TREFP by 35x removes ~97 % of the refresh component, so the
+*relative* saving a workload sees depends on how much access power it
+adds on top -- which is exactly the spread the paper's Figure 8b reports
+(27.3 % for the low-bandwidth nw down to 9.4 % for the streaming
+kmeans).
+
+Default wattages are calibrated so the Figure 8b and Figure 9 numbers
+come out at the paper's values for the modelled 4-DIMM, 32 GB board;
+see DESIGN.md section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import NOMINAL_REFRESH_S
+
+
+@dataclass(frozen=True)
+class DramPowerBreakdown:
+    """Component watts of the DRAM domain at one operating point."""
+
+    background_w: float
+    refresh_w: float
+    access_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.background_w + self.refresh_w + self.access_w
+
+
+@dataclass(frozen=True)
+class DramPowerModel:
+    """Analytic DRAM-domain power.
+
+    Attributes
+    ----------
+    background_w:
+        Standby power of the full DRAM subsystem (all DIMMs).
+    refresh_w_nominal:
+        Refresh power at the nominal 64 ms TREFP.
+    access_w_per_gbs:
+        Incremental power per GB/s of sustained bandwidth.
+    """
+
+    background_w: float = 4.6
+    refresh_w_nominal: float = 2.6
+    access_w_per_gbs: float = 0.6
+    nominal_trefp_s: float = NOMINAL_REFRESH_S
+
+    def __post_init__(self) -> None:
+        if min(self.background_w, self.refresh_w_nominal,
+               self.access_w_per_gbs, self.nominal_trefp_s) <= 0:
+            raise ConfigurationError("all power-model parameters must be positive")
+
+    def refresh_w(self, trefp_s: float) -> float:
+        """Refresh power at a programmed TREFP."""
+        if trefp_s <= 0:
+            raise ConfigurationError("refresh period must be positive")
+        return self.refresh_w_nominal * (self.nominal_trefp_s / trefp_s)
+
+    def breakdown(self, trefp_s: float, bandwidth_gbs: float) -> DramPowerBreakdown:
+        """Component watts at an operating point."""
+        if bandwidth_gbs < 0:
+            raise ConfigurationError("bandwidth cannot be negative")
+        return DramPowerBreakdown(
+            background_w=self.background_w,
+            refresh_w=self.refresh_w(trefp_s),
+            access_w=self.access_w_per_gbs * bandwidth_gbs,
+        )
+
+    def total_w(self, trefp_s: float, bandwidth_gbs: float) -> float:
+        return self.breakdown(trefp_s, bandwidth_gbs).total_w
+
+    def relaxation_savings(self, bandwidth_gbs: float,
+                           relaxed_trefp_s: float) -> float:
+        """Fractional power saving from relaxing TREFP at a bandwidth.
+
+        ``(P(nominal) - P(relaxed)) / P(nominal)`` -- the Figure 8b
+        quantity.
+        """
+        nominal = self.total_w(self.nominal_trefp_s, bandwidth_gbs)
+        relaxed = self.total_w(relaxed_trefp_s, bandwidth_gbs)
+        return (nominal - relaxed) / nominal

@@ -1,0 +1,118 @@
+"""Multi-round retention profiling with variable-retention-time cells.
+
+Liu et al. [19] -- the paper's retention reference -- showed that a
+single profiling pass misses cells whose retention flips between a weak
+and a strong state (variable retention time, VRT). Real profilers
+therefore run the DPBench suite repeatedly and accumulate the *union*
+of failing locations across rounds.
+
+This module implements that flow over our weak-cell maps: stable weak
+cells fail in every round; VRT cells fail in a round only when they are
+in their weak state (a seeded Bernoulli draw per round). The accumulated
+unique-location curve rises with the number of rounds and saturates at
+the full weak population -- the behaviour profilers observe in practice,
+and the reason "unique error locations" in Table I is a union over the
+whole campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.dram.cells import WeakCellMap
+from repro.errors import ConfigurationError
+from repro.rand import SeedLike, substream
+
+#: Probability that a VRT cell sits in its weak (leaky) state during a
+#: given profiling round. Published VRT duty cycles span a wide range;
+#: 0.5 is the neutral default.
+VRT_WEAK_STATE_PROBABILITY = 0.5
+
+
+@dataclass(frozen=True)
+class ProfilingRound:
+    """Result of one DPBench profiling round over a bank."""
+
+    round_index: int
+    failing_locations: int      # cells observed failing this round
+    new_locations: int          # not seen in any earlier round
+    cumulative_unique: int
+
+
+@dataclass(frozen=True)
+class ProfilingCampaign:
+    """The full multi-round profile of one bank."""
+
+    rounds: Tuple[ProfilingRound, ...]
+    stable_population: int       # non-VRT weak cells at the condition
+    vrt_population: int          # VRT weak cells at the condition
+
+    @property
+    def total_unique(self) -> int:
+        return self.rounds[-1].cumulative_unique if self.rounds else 0
+
+    @property
+    def single_round_coverage(self) -> float:
+        """Fraction of the final unique set the first round found.
+
+        The headline profiling hazard: < 1.0 means one pass misses
+        retention-weak cells.
+        """
+        if self.total_unique == 0:
+            return 1.0
+        return self.rounds[0].failing_locations / self.total_unique
+
+    def saturated_after(self, slack_rounds: int = 2) -> Optional[int]:
+        """First round after which no new locations appeared.
+
+        Returns None if the campaign never went ``slack_rounds`` rounds
+        without discovering a new cell.
+        """
+        run = 0
+        for record in self.rounds:
+            if record.new_locations == 0:
+                run += 1
+                if run >= slack_rounds:
+                    return record.round_index - slack_rounds + 1
+            else:
+                run = 0
+        return None
+
+
+def profile_bank(weak_map: WeakCellMap, interval_s: float, temp_c: float,
+                 rounds: int = 8, seed: SeedLike = None) -> ProfilingCampaign:
+    """Run a multi-round DPBench profiling campaign over one bank.
+
+    Each round observes every stable weak cell at the condition plus
+    each VRT weak cell with probability
+    :data:`VRT_WEAK_STATE_PROBABILITY`.
+    """
+    if rounds < 1:
+        raise ConfigurationError("need at least one profiling round")
+    rng = substream(seed, f"profiling-d{weak_map.bank.device}-b{weak_map.bank.bank}")
+    coupling = weak_map.retention.params.coupling_random
+    cells = weak_map.failing_cells(interval_s, temp_c, coupling=coupling)
+    stable = [(c.row, c.col) for c in cells if not c.is_vrt]
+    vrt = [(c.row, c.col) for c in cells if c.is_vrt]
+
+    seen: Set[Tuple[int, int]] = set()
+    records: List[ProfilingRound] = []
+    for index in range(rounds):
+        observed = set(stable)
+        for location in vrt:
+            if rng.random() < VRT_WEAK_STATE_PROBABILITY:
+                observed.add(location)
+        new = observed - seen
+        seen |= observed
+        records.append(ProfilingRound(
+            round_index=index,
+            failing_locations=len(observed),
+            new_locations=len(new),
+            cumulative_unique=len(seen),
+        ))
+    return ProfilingCampaign(
+        rounds=tuple(records),
+        stable_population=len(stable),
+        vrt_population=len(vrt),
+    )

@@ -1,0 +1,158 @@
+"""Patrol scrubbing: bounding error accumulation between refreshes.
+
+At a 35x relaxed refresh period a weak cell stays wrong for up to 2.283 s
+before the next refresh rewrites it. If a *second* bit in the same
+codeword decays within that window, a correctable error escalates to an
+uncorrectable one. A patrol scrubber walks memory in the background,
+reading every codeword through ECC and writing back the corrected data,
+which resets single-bit errors before they can pair up.
+
+This module models that interaction analytically and by simulation over
+the weak-cell maps:
+
+- :func:`pairup_probability` -- the probability that a codeword collects
+  two or more failing bits within one refresh window, with and without a
+  patrol pass in between. This is the *ensemble* view: bit placements
+  drawn fresh, as when reasoning about a fleet of banks;
+- :class:`PatrolScrubber` -- walks a bank's weak-cell population over
+  simulated refresh windows, counting CE->UE escalations prevented. This
+  is the *per-part* view: a bank's weak-cell positions are fixed silicon
+  facts, so whether it has pair-vulnerable words at all is decided once
+  by its draw -- individual banks can be pair-free even when the
+  ensemble probability is substantial (average over several banks when
+  comparing against the analytic number).
+
+The paper leans on ECC alone because its measured densities are low; the
+scrubber quantifies how much headroom that leaves and when patrol
+scrubbing becomes necessary (hotter, or longer TREFP) -- the "reduce the
+reliance on ECC" direction of Section IV.C.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dram.cells import WeakCellMap
+from repro.dram.controller import WORD_DATA_BITS
+from repro.errors import ConfigurationError
+from repro.rand import SeedLike, substream
+
+
+def pairup_probability(weak_bits: int, words: int,
+                       scrub_passes: int = 0) -> float:
+    """P(some codeword holds >= 2 weak bits) in one refresh window.
+
+    ``weak_bits`` failing bits land uniformly in ``words`` codewords.
+    Each patrol pass between refreshes splits the window: bits that
+    decay in different sub-windows no longer coexist, which divides the
+    pairing pressure by ``scrub_passes + 1`` (decay times are roughly
+    uniform over the window).
+
+    Uses the Poissonized birthday bound, accurate for the sparse regime
+    the study operates in.
+    """
+    if words <= 0:
+        raise ConfigurationError("words must be positive")
+    if weak_bits < 0 or scrub_passes < 0:
+        raise ConfigurationError("counts cannot be negative")
+    if weak_bits < 2:
+        return 0.0
+    expected_pairs = weak_bits * (weak_bits - 1) / (2.0 * words)
+    expected_pairs /= (scrub_passes + 1)
+    return 1.0 - math.exp(-expected_pairs)
+
+
+@dataclass(frozen=True)
+class ScrubWindowResult:
+    """One refresh window's outcome."""
+
+    window_index: int
+    weak_bits: int
+    vulnerable_words: int        # words holding >= 2 weak bits, no scrub
+    escalations_prevented: int   # pairs split by the patrol pass
+
+
+@dataclass(frozen=True)
+class PatrolReport:
+    """Aggregate over a simulated campaign."""
+
+    windows: Tuple[ScrubWindowResult, ...]
+    scrub_passes_per_window: int
+
+    @property
+    def total_vulnerable_words(self) -> int:
+        return sum(w.vulnerable_words for w in self.windows)
+
+    @property
+    def total_prevented(self) -> int:
+        return sum(w.escalations_prevented for w in self.windows)
+
+    @property
+    def prevention_fraction(self) -> float:
+        if self.total_vulnerable_words == 0:
+            return 1.0
+        return self.total_prevented / self.total_vulnerable_words
+
+
+class PatrolScrubber:
+    """Simulates patrol scrubbing over a bank's weak population.
+
+    Each refresh window, the cells failing at the study condition decay
+    at uniformly-random instants within the window. Without scrubbing, a
+    word holding two decayed bits simultaneously is a UE. With ``passes``
+    patrol passes, a pair is harmless whenever a pass falls between the
+    two decay instants.
+    """
+
+    def __init__(self, weak_map: WeakCellMap, interval_s: float, temp_c: float,
+                 passes: int = 1, seed: SeedLike = None) -> None:
+        if passes < 0:
+            raise ConfigurationError("passes cannot be negative")
+        self.weak_map = weak_map
+        self.interval_s = interval_s
+        self.temp_c = temp_c
+        self.passes = passes
+        self._rng = substream(
+            seed, f"scrubber-d{weak_map.bank.device}-b{weak_map.bank.bank}")
+
+    def _decayed_pairs(self) -> Dict[Tuple[int, int], List[float]]:
+        """Word -> decay instants (fractions of the window) of its bits."""
+        cells = self.weak_map.failing_cells(
+            self.interval_s, self.temp_c,
+            coupling=self.weak_map.retention.params.coupling_random)
+        by_word: Dict[Tuple[int, int], List[float]] = {}
+        for cell in cells:
+            key = (cell.row, cell.col // WORD_DATA_BITS)
+            by_word.setdefault(key, []).append(float(self._rng.random()))
+        return by_word
+
+    def run_window(self, window_index: int) -> ScrubWindowResult:
+        """Simulate one refresh window."""
+        by_word = self._decayed_pairs()
+        vulnerable = 0
+        prevented = 0
+        pass_times = [(k + 1) / (self.passes + 1) for k in range(self.passes)]
+        for instants in by_word.values():
+            if len(instants) < 2:
+                continue
+            vulnerable += 1
+            first, last = min(instants), max(instants)
+            if any(first < t < last for t in pass_times):
+                prevented += 1
+        return ScrubWindowResult(
+            window_index=window_index,
+            weak_bits=sum(len(v) for v in by_word.values()),
+            vulnerable_words=vulnerable,
+            escalations_prevented=prevented,
+        )
+
+    def run(self, windows: int = 16) -> PatrolReport:
+        """Simulate a campaign of refresh windows."""
+        if windows < 1:
+            raise ConfigurationError("need at least one window")
+        return PatrolReport(
+            windows=tuple(self.run_window(i) for i in range(windows)),
+            scrub_passes_per_window=self.passes,
+        )

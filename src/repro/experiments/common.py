@@ -1,0 +1,41 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.executor import CampaignExecutor
+from repro.core.vmin import VminSearch
+from repro.rand import SeedLike
+from repro.soc.corners import ProcessCorner
+from repro.soc.xgene2 import build_reference_chips
+
+
+def reference_executors(seed: SeedLike = None) -> Dict[ProcessCorner, CampaignExecutor]:
+    """Campaign executors over the three reference sigma parts."""
+    chips = build_reference_chips(seed=seed)
+    return {corner: CampaignExecutor(chip, seed=seed)
+            for corner, chip in chips.items()}
+
+
+def vmin_searches(seed: SeedLike = None, repetitions: int = 10,
+                  step_mv: float = 5.0) -> Dict[ProcessCorner, VminSearch]:
+    """Vmin search harnesses over the three reference parts."""
+    return {
+        corner: VminSearch(executor, step_mv=step_mv, repetitions=repetitions)
+        for corner, executor in reference_executors(seed).items()
+    }
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table for bench output."""
+    table: List[List[str]] = [[str(h) for h in header]]
+    for row in rows:
+        table.append([f"{v:.3f}" if isinstance(v, float) else str(v) for v in row])
+    widths = [max(len(r[i]) for r in table) for i in range(len(header))]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

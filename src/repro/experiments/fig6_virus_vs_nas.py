@@ -1,0 +1,96 @@
+"""Figure 6: Vmin of the EM-guided dI/dt virus vs NAS workloads.
+
+The paper validates the EM-amplitude fitness indirectly: the evolved
+virus must show the highest Vmin of any workload. This driver evolves
+the virus (GA + local polish), measures its Vmin on the TTT part next to
+the NAS suite, and reports the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.vmin import VminSearch
+from repro.experiments.common import format_table, vmin_searches
+from repro.rand import SeedLike
+from repro.soc.corners import ProcessCorner
+from repro.viruses.didt import DidtVirus, evolve_didt_virus
+from repro.workloads.base import CpuWorkload, Workload
+from repro.workloads.nas import nas_suite
+
+
+def virus_as_workload(virus: DidtVirus) -> Workload:
+    """Wrap an evolved virus as a runnable workload signature."""
+    counters = None
+    from repro.pdn.droop import analyze_loop
+    profile = analyze_loop(virus.loop).profile
+    counters = profile.counters
+    return Workload(CpuWorkload(
+        name=virus.name, suite="virus",
+        resonant_swing=virus.resonant_swing,
+        ipc=max(0.1, counters.ipc),
+        fp_ratio=counters.fp_ratio,
+        mem_ratio=counters.mem_ratio,
+        branch_ratio=counters.branch_ratio,
+        l2_miss_ratio=counters.l2_miss_ratio,
+        sdc_bias=0.5,
+    ))
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Virus-vs-NAS Vmin comparison on one chip."""
+
+    corner: str
+    virus: DidtVirus
+    virus_vmin_mv: float
+    nas_vmin_mv: Dict[str, float]
+
+    def rows(self) -> List[Tuple[str, float]]:
+        rows = sorted(self.nas_vmin_mv.items(), key=lambda kv: kv[1])
+        rows.append(("em-virus", self.virus_vmin_mv))
+        return rows
+
+    @property
+    def virus_is_highest(self) -> bool:
+        """The paper's claim: the virus tops every conventional workload."""
+        return self.virus_vmin_mv > max(self.nas_vmin_mv.values())
+
+    @property
+    def gap_mv(self) -> float:
+        """Virus Vmin minus the worst NAS Vmin."""
+        return self.virus_vmin_mv - max(self.nas_vmin_mv.values())
+
+    def format(self) -> str:
+        lines = [f"Figure 6: Vmin of EM virus vs NAS benchmarks ({self.corner})"]
+        lines.append(format_table(
+            ("workload", "Vmin mV"),
+            [(name, f"{v:.0f}") for name, v in self.rows()],
+        ))
+        lines.append(
+            f"virus swing {self.virus.resonant_swing:.3f}, "
+            f"gap over worst NAS {self.gap_mv:.0f} mV "
+            f"({'virus highest' if self.virus_is_highest else 'VIRUS NOT HIGHEST'})"
+        )
+        return "\n".join(lines)
+
+
+def run_figure6(seed: SeedLike = None, repetitions: int = 10,
+                generations: int = 25, population: int = 32) -> Figure6Result:
+    """Evolve the virus and compare against NAS on the TTT part."""
+    searches = vmin_searches(seed=seed, repetitions=repetitions)
+    search: VminSearch = searches[ProcessCorner.TTT]
+    chip = search.executor.chip
+    core = chip.strongest_core()
+
+    virus = evolve_didt_virus(seed=seed, generations=generations,
+                              population=population)
+    virus_result = search.search(virus_as_workload(virus), cores=(core,))
+    nas_results = search.search_suite(nas_suite(), cores=(core,))
+    return Figure6Result(
+        corner=ProcessCorner.TTT.value,
+        virus=virus,
+        virus_vmin_mv=virus_result.safe_vmin_mv,
+        nas_vmin_mv={r.workload: r.safe_vmin_mv for r in nas_results},
+    )

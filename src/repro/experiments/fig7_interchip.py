@@ -1,0 +1,75 @@
+"""Figure 7: exposing inter-chip process variation with the EM virus.
+
+The virus, being the worst-case stimulus, reveals how much margin each
+part *really* has: the paper reports ~60 mV of margin on TTT (so at
+least 50 mV is shaveable), ~20 mV on TFF, and effectively zero on TSS
+(the virus crashes it 10 mV below nominal) -- the TSS part should stay
+at the manufacturer's nominal voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import format_table, vmin_searches
+from repro.experiments.fig6_virus_vs_nas import virus_as_workload
+from repro.rand import SeedLike
+from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
+from repro.viruses.didt import DidtVirus, evolve_didt_virus
+
+#: Paper-reported virus margins below the 980 mV nominal (mV).
+PAPER_MARGINS_MV: Dict[str, float] = {"TTT": 60.0, "TFF": 20.0, "TSS": 0.0}
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Per-chip virus Vmin and margin."""
+
+    virus: DidtVirus
+    virus_vmin_mv: Dict[str, float]
+
+    def margin_mv(self, corner: str) -> float:
+        return NOMINAL_PMD_MV - self.virus_vmin_mv[corner]
+
+    def rows(self) -> List[Tuple[str, float, float, float]]:
+        """(corner, virus Vmin, measured margin, paper margin) rows."""
+        return [
+            (corner, self.virus_vmin_mv[corner], self.margin_mv(corner),
+             PAPER_MARGINS_MV[corner])
+            for corner in ("TTT", "TFF", "TSS")
+        ]
+
+    @property
+    def ordering_matches_paper(self) -> bool:
+        """TTT margin > TFF margin > TSS margin (~zero)."""
+        return (self.margin_mv("TTT") > self.margin_mv("TFF")
+                > self.margin_mv("TSS"))
+
+    @property
+    def tss_margin_negligible(self) -> bool:
+        """TSS should have at most one regulator step of margin."""
+        return self.margin_mv("TSS") <= 10.0
+
+    def format(self) -> str:
+        lines = ["Figure 7: inter-chip process variation under the EM virus"]
+        lines.append(format_table(
+            ("chip", "virus Vmin mV", "margin mV", "paper margin mV"),
+            [(c, f"{v:.0f}", f"{m:.0f}", f"{p:.0f}") for c, v, m, p in self.rows()],
+        ))
+        return "\n".join(lines)
+
+
+def run_figure7(seed: SeedLike = None, repetitions: int = 10,
+                generations: int = 25, population: int = 32) -> Figure7Result:
+    """Evolve one virus and measure it on all three reference parts."""
+    virus = evolve_didt_virus(seed=seed, generations=generations,
+                              population=population)
+    workload = virus_as_workload(virus)
+    searches = vmin_searches(seed=seed, repetitions=repetitions)
+    vmin_mv: Dict[str, float] = {}
+    for corner, search in searches.items():
+        core = search.executor.chip.strongest_core()
+        result = search.search(workload, cores=(core,))
+        vmin_mv[corner.value] = result.safe_vmin_mv
+    return Figure7Result(virus=virus, virus_vmin_mv=vmin_mv)

@@ -1,0 +1,97 @@
+"""Figure 8a: BER of DPBenches vs Rodinia workloads.
+
+The paper's observations, all reproduced here:
+
+- the random DPBench yields the highest BER (making it the
+  representative characterization pattern);
+- real workloads incur less BER than the random-pattern virus, both
+  because their stored data differs from worst-case patterns and
+  because frequent row accesses inherently refresh rows;
+- across the four Rodinia applications BER varies by up to ~2.5x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dram.errors_model import BitErrorModel, PatternKind
+from repro.experiments.common import format_table
+from repro.rand import SeedLike
+from repro.units import RELAXED_REFRESH_S
+from repro.workloads.rodinia import rodinia_suite
+
+PAPER_MAX_WORKLOAD_VARIATION = 2.5
+
+
+@dataclass(frozen=True)
+class Figure8aResult:
+    """BER per DPBench and per Rodinia workload."""
+
+    temp_c: float
+    interval_s: float
+    pattern_ber: Dict[str, float]
+    workload_ber: Dict[str, float]
+
+    def rows(self) -> List[Tuple[str, str, float]]:
+        rows = [("dpbench", name, ber)
+                for name, ber in sorted(self.pattern_ber.items(),
+                                        key=lambda kv: kv[1])]
+        rows.extend(("rodinia", name, ber)
+                    for name, ber in sorted(self.workload_ber.items(),
+                                            key=lambda kv: kv[1]))
+        return rows
+
+    @property
+    def random_is_worst_pattern(self) -> bool:
+        return self.pattern_ber["random"] == max(self.pattern_ber.values())
+
+    @property
+    def workloads_below_random_virus(self) -> bool:
+        return max(self.workload_ber.values()) < self.pattern_ber["random"]
+
+    @property
+    def workload_variation(self) -> float:
+        """Max/min BER ratio across the Rodinia applications."""
+        values = self.workload_ber.values()
+        return max(values) / min(values)
+
+    def format(self) -> str:
+        lines = [
+            f"Figure 8a: BER at {self.interval_s}s refresh, {self.temp_c:.0f} degC"
+        ]
+        lines.append(format_table(
+            ("kind", "workload", "BER"),
+            [(k, n, f"{b:.3e}") for k, n, b in self.rows()],
+        ))
+        lines.append(
+            f"workload-to-workload variation {self.workload_variation:.1f}x "
+            f"(paper: up to {PAPER_MAX_WORKLOAD_VARIATION}x); "
+            f"random DPBench worst: {self.random_is_worst_pattern}; "
+            f"all workloads below random virus: {self.workloads_below_random_virus}"
+        )
+        return "\n".join(lines)
+
+
+def run_figure8a(seed: SeedLike = None, temp_c: float = 60.0,
+                 interval_s: float = RELAXED_REFRESH_S) -> Figure8aResult:
+    """Compute the Figure 8a BER comparison."""
+    model = BitErrorModel()
+    pattern_ber = {
+        kind.value: model.pattern_ber(kind, interval_s, temp_c)
+        for kind in PatternKind
+    }
+    workload_ber = {}
+    for workload in rodinia_suite():
+        profile = workload.dram
+        workload_ber[workload.name] = model.workload_ber(
+            interval_s, temp_c,
+            data_entropy=profile.data_entropy,
+            hot_row_fraction=profile.hot_row_fraction,
+        )
+    return Figure8aResult(
+        temp_c=temp_c,
+        interval_s=interval_s,
+        pattern_ber=pattern_ber,
+        workload_ber=workload_ber,
+    )

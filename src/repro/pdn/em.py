@@ -1,0 +1,106 @@
+"""Electromagnetic-emanation sensor model.
+
+The paper cannot probe the supply rail directly, so it senses voltage
+noise through radiated EM near the package (reference [14]): large
+resonant current loops radiate, and the radiated amplitude at the PDN
+resonance tracks the droop magnitude. The GA maximizes EM amplitude and
+the paper then *validates* the proxy by showing the evolved virus also
+maximizes Vmin.
+
+Our sensor derives radiated amplitude from the same current waveform the
+PDN sees. The near-field probe picks up the magnetic field of the
+current circulating in the package's resonant L-C loop; that tank
+current is the die current shaped by the network's impedance peak
+(``I_tank(w) ~ |Z(w)| * I_die(w) / (w L)``, and the probe's ``dI/dt``
+pickup restores the ``w``), so the radiated spectrum tracks
+``|Z(w)| * I_die(w)`` -- the droop spectrum. The receiver chain adds a
+band-limit around the resonance and measurement noise, so the proxy is
+strong but imperfect, as in reality. ``tests/test_em_proxy.py``
+quantifies the correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.pdn.rlc import DEFAULT_PDN, PdnModel
+from repro.rand import SeedLike, substream
+
+
+@dataclass(frozen=True)
+class EmReading:
+    """One EM measurement: amplitude (arbitrary units) and its frequency."""
+
+    amplitude: float
+    peak_freq_hz: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ConfigurationError("EM amplitude cannot be negative")
+
+
+class EmSensor:
+    """Near-field EM probe + receiver model.
+
+    Parameters
+    ----------
+    pdn:
+        The PDN whose resonant current loop radiates.
+    bandwidth_hz:
+        Receiver bandwidth centred on the PDN resonance; spectral lines
+        outside it are attenuated (simple Gaussian window).
+    noise_floor:
+        Additive measurement noise sigma, relative units. Real EM
+        measurements are noisy; the GA must average across reads.
+    seed:
+        Seed for the measurement-noise stream.
+    """
+
+    def __init__(self, pdn: PdnModel = None, bandwidth_hz: float = 30e6,
+                 noise_floor: float = 0.01, seed: SeedLike = None) -> None:
+        if bandwidth_hz <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        self.pdn = pdn or PdnModel(DEFAULT_PDN)
+        self.bandwidth_hz = bandwidth_hz
+        self.noise_floor = noise_floor
+        self._rng = substream(seed, "em-sensor")
+
+    def measure(self, waveform: np.ndarray, freq_ghz: float,
+                current_scale_a: float = 10.0) -> EmReading:
+        """Measure the radiated amplitude of a current waveform.
+
+        The probe output is ``|Z(w)| * I(w) * G(w)`` -- the tank-current
+        pickup shaped by a Gaussian receiver window ``G`` around the PDN
+        resonance -- plus additive receiver noise.
+        """
+        n = len(waveform)
+        sample_rate_hz = freq_ghz * 1e9
+        current = (np.asarray(waveform, float) - np.mean(waveform)) * current_scale_a
+        spectrum = np.abs(np.fft.rfft(current)) / n * 2.0
+        freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
+        f_res = self.pdn.params.resonant_freq_hz
+        window = np.exp(-0.5 * ((freqs - f_res) / self.bandwidth_hz) ** 2)
+        radiated = self.pdn.impedance_ohm(freqs) * spectrum * window
+        peak_idx = int(np.argmax(radiated))
+        # Normalize to convenient units (~1 for a full-swing resonant
+        # square wave) and add receiver noise.
+        amplitude = float(radiated[peak_idx]) / (
+            self.pdn.peak_impedance_ohm() * current_scale_a)
+        noisy = max(0.0, amplitude + self._rng.normal(0.0, self.noise_floor))
+        return EmReading(amplitude=noisy, peak_freq_hz=float(freqs[peak_idx]))
+
+    def measure_averaged(self, waveform: np.ndarray, freq_ghz: float,
+                         repeats: int = 4,
+                         current_scale_a: float = 10.0) -> EmReading:
+        """Average ``repeats`` reads to knock down receiver noise."""
+        if repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+        readings = [self.measure(waveform, freq_ghz, current_scale_a)
+                    for _ in range(repeats)]
+        return EmReading(
+            amplitude=float(np.mean([r.amplitude for r in readings])),
+            peak_freq_hz=readings[0].peak_freq_hz,
+        )

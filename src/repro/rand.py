@@ -1,0 +1,58 @@
+"""Deterministic random-stream management.
+
+Every stochastic component in the library draws from an explicit
+:class:`numpy.random.Generator`. Components never call the global numpy
+RNG, so a fixed experiment seed reproduces the same results bit-for-bit
+run-to-run -- the property the test suite asserts.
+
+The helpers here implement *named sub-streams*: a parent seed plus a
+string label yields an independent child generator, so adding a new
+consumer of randomness does not perturb the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+#: Default seed used by experiment entry points when the caller passes none.
+DEFAULT_SEED = 20180625  # DSN 2018 conference week.
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed,
+    or ``None`` (which uses :data:`DEFAULT_SEED` so library behaviour is
+    deterministic unless the caller opts into entropy explicitly).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = DEFAULT_SEED
+    return np.random.default_rng(seed)
+
+
+def substream(seed: SeedLike, label: str, index: Optional[int] = None) -> np.random.Generator:
+    """Derive an independent generator for the component named ``label``.
+
+    The derivation hashes the label (and optional index) into the seed
+    sequence, so streams for different labels are decorrelated and stable
+    across library versions.
+    """
+    base = seed if isinstance(seed, int) else DEFAULT_SEED if seed is None else None
+    if base is None:
+        # Parent is a Generator: spawn a child keyed by the label hash so
+        # repeated calls with the same parent+label agree only when the
+        # parent state agrees. Draw the base from the parent.
+        assert isinstance(seed, np.random.Generator)
+        base = int(seed.integers(0, 2**31 - 1))
+    key = zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
+    parts = [base, key]
+    if index is not None:
+        parts.append(index)
+    return np.random.default_rng(np.random.SeedSequence(parts))

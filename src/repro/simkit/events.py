@@ -1,0 +1,121 @@
+"""Deterministic virtual-time event loop.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+The monotonically increasing sequence number guarantees FIFO ordering for
+events scheduled at the same virtual time, which keeps every simulation in
+the library reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in virtual time.
+
+    Events compare by ``(time, seq)`` so the heap pops them in
+    deterministic order. ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A single-threaded virtual-time event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fired at t=1.5"))
+        sim.run_until(10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        return self.schedule(when - self._now, callback)
+
+    def peek(self) -> Optional[float]:
+        """Virtual time of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the next event. Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue drains. Returns the event count.
+
+        ``max_events`` bounds runaway self-rescheduling loops; exceeding
+        it raises :class:`SimulationError` rather than hanging.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(f"event budget exceeded ({max_events} events)")
+        return fired
+
+    def run_until(self, deadline: float, max_events: int = 10_000_000) -> int:
+        """Run events with time <= ``deadline``; advance time to it.
+
+        Events scheduled after the deadline remain queued. Returns the
+        number of events fired.
+        """
+        if deadline < self._now:
+            raise SimulationError(
+                f"deadline {deadline} is before current time {self._now}"
+            )
+        fired = 0
+        while True:
+            upcoming = self.peek()
+            if upcoming is None or upcoming > deadline:
+                break
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(f"event budget exceeded ({max_events} events)")
+        self._now = deadline
+        return fired

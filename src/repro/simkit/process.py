@@ -1,0 +1,81 @@
+"""Generator-based cooperative processes on top of the event loop.
+
+A process is a Python generator that yields either
+
+- a ``float`` delay (seconds of virtual time to sleep), or
+- another :class:`Process` to wait for its completion.
+
+This is the same execution model as SimPy's core, cut down to the two
+primitives this library needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Union
+
+from repro.errors import SimulationError
+from repro.simkit.events import Simulator
+
+Yieldable = Union[float, int, "Process"]
+
+
+def sleep(duration: float) -> float:
+    """Readability helper: ``yield sleep(2.5)`` inside a process body."""
+    return float(duration)
+
+
+class Process:
+    """A cooperative process driven by a :class:`Simulator`.
+
+    The generator's ``return`` value is exposed as :attr:`result` once
+    :attr:`done` is ``True``. Other processes can ``yield`` this process
+    to block until it completes.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[Yieldable, Any, Any],
+                 name: str = "process") -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self.done = False
+        self.result: Any = None
+        self._waiters: List[Process] = []
+        sim.schedule(0.0, self._advance)
+
+    def _advance(self, sent: Any = None) -> None:
+        if self.done:
+            raise SimulationError(f"process {self.name!r} resumed after completion")
+        try:
+            yielded = self._generator.send(sent)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if isinstance(yielded, Process):
+            if yielded.done:
+                self.sim.schedule(0.0, lambda: self._advance(yielded.result))
+            else:
+                yielded._waiters.append(self)
+        elif isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._advance)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(yielded).__name__}; "
+                "expected a delay or a Process"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.done = True
+        self.result = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0.0, lambda w=waiter: w._advance(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "running"
+        return f"<Process {self.name!r} {state}>"
+
+
+def spawn(sim: Simulator, generator: Generator[Yieldable, Any, Any],
+          name: Optional[str] = None) -> Process:
+    """Create and start a :class:`Process` on ``sim``."""
+    return Process(sim, generator, name=name or getattr(generator, "__name__", "process"))

@@ -1,0 +1,69 @@
+"""Counted resources with FIFO wait queues.
+
+Used by the campaign executor to model exclusive ownership of cores by
+benchmark runs, and by the Jammer model to account for contended memory
+bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from repro.errors import SimulationError
+from repro.simkit.events import Simulator
+
+
+class Resource:
+    """A resource with ``capacity`` interchangeable slots.
+
+    Acquisition is callback-based to stay independent of the process
+    layer: ``acquire(cb)`` invokes ``cb`` (via the event loop, never
+    synchronously) once a slot is available. FIFO ordering is guaranteed.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Callable[[], None]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of acquirers waiting for a slot."""
+        return len(self._waiters)
+
+    def acquire(self, callback: Callable[[], None]) -> None:
+        """Request a slot; ``callback`` fires when one is granted."""
+        if self._in_use < self.capacity and not self._waiters:
+            self._in_use += 1
+            self.sim.schedule(0.0, callback)
+        else:
+            self._waiters.append(callback)
+
+    def release(self) -> None:
+        """Return a held slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            callback = self._waiters.popleft()
+            self.sim.schedule(0.0, callback)
+        else:
+            self._in_use -= 1
+
+    def utilisation_snapshot(self) -> Tuple[int, int, int]:
+        """Return ``(in_use, capacity, queued)`` for telemetry logs."""
+        return (self._in_use, self.capacity, len(self._waiters))

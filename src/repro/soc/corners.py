@@ -1,0 +1,146 @@
+"""Process-corner (sigma chip) parameter sets.
+
+The paper characterizes three 28 nm X-Gene2 chips selected on socketed
+validation boards (Section III.A):
+
+- ``TTT`` -- a typical part,
+- ``TFF`` -- a high-leakage corner part (fast transistors),
+- ``TSS`` -- a low-leakage corner part (slow transistors).
+
+Each corner carries the parameters of our behavioural Vmin model::
+
+    Vmin(core, workload, f) = v_crit(f) + core_offset + droop(swing)
+    droop(swing)            = droop_scale * swing ** droop_gamma
+
+``swing`` in [0, 1] is the workload's normalized supply-current swing at
+the PDN resonance (computed by :mod:`repro.pdn` from the execution
+model's current waveform); ``v_crit`` is the intrinsic critical voltage
+of the strongest core at the given frequency; ``core_offset`` captures
+intra-die core-to-core variation.
+
+The three parameter sets below are *calibrated to the paper's measured
+numbers* (Figures 4, 6, 7): SPEC Vmin ranges of 860-885 mV (TTT),
+870-885 mV (TFF), 870-900 mV (TSS) for the most robust core at 2.4 GHz,
+and dI/dt-virus Vmin of ~920 / ~960 / ~970 mV respectively, against the
+980 mV nominal. See DESIGN.md for the derivation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Manufacturer nominal supply for the PMD domain at 2.4 GHz (mV).
+NOMINAL_PMD_MV = 980.0
+#: Manufacturer nominal supply for the SoC (uncore) domain (mV).
+NOMINAL_SOC_MV = 950.0
+
+
+class ProcessCorner(enum.Enum):
+    """The three sigma-chip classes characterized by the paper."""
+
+    TTT = "TTT"
+    TFF = "TFF"
+    TSS = "TSS"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CornerParams:
+    """Vmin- and leakage-model parameters for one process corner.
+
+    Attributes
+    ----------
+    v_crit_mv:
+        Intrinsic critical voltage of the strongest core at the nominal
+        2.4 GHz (mV). Below this the core fails even with zero noise.
+    v_crit_slope_mv_per_ghz:
+        Reduction of ``v_crit`` per GHz of frequency decrease. Calibrated
+        so that running at 1.2 GHz permits the 760 mV supply of the
+        paper's Figure 5 ladder.
+    droop_scale_mv:
+        Worst-case (swing = 1) resonance-droop amplitude in mV.
+    droop_gamma:
+        Exponent shaping how sub-worst-case swings translate to droop;
+        captures the chip's combined PDN damping and critical-path
+        voltage sensitivity.
+    core_offsets_mv:
+        Per-core additive Vmin offsets, linear core order 0..7. Core
+        numbering follows the paper: PMD0/PMD1 hold the weakest cores on
+        the TTT part.
+    leakage_fraction:
+        Share of domain power that is leakage at nominal voltage; the
+        corner's defining property (TFF high, TSS low).
+    leakage_v0_mv:
+        Exponential leakage voltage-sensitivity scale (mV), used by the
+        power model: ``I_leak ~ exp(V / v0)``.
+    """
+
+    v_crit_mv: float
+    v_crit_slope_mv_per_ghz: float
+    droop_scale_mv: float
+    droop_gamma: float
+    core_offsets_mv: Tuple[float, ...]
+    leakage_fraction: float
+    leakage_v0_mv: float
+
+    def __post_init__(self) -> None:
+        if len(self.core_offsets_mv) != 8:
+            raise ValueError("core_offsets_mv must list all 8 cores")
+        if min(self.core_offsets_mv) != 0.0:
+            raise ValueError("the strongest core must have a zero offset")
+        if not 0.0 <= self.leakage_fraction < 1.0:
+            raise ValueError("leakage_fraction must be in [0, 1)")
+
+    def v_crit_at(self, freq_ghz: float, nominal_freq_ghz: float = 2.4) -> float:
+        """Intrinsic critical voltage (mV) of the strongest core at ``freq_ghz``."""
+        return self.v_crit_mv - self.v_crit_slope_mv_per_ghz * (nominal_freq_ghz - freq_ghz)
+
+    def droop_mv(self, swing: float) -> float:
+        """Supply droop (mV) produced by a normalized current swing."""
+        swing = min(max(swing, 0.0), 1.0)
+        return self.droop_scale_mv * swing ** self.droop_gamma
+
+
+#: Calibrated parameters per corner (see module docstring and DESIGN.md).
+CORNER_PARAMS: Dict[ProcessCorner, CornerParams] = {
+    # Typical part: lowest intrinsic Vmin, moderate droop sensitivity.
+    # Virus Vmin = 838.6 + 81.4 ~= 920 mV -> 60 mV margin below nominal.
+    ProcessCorner.TTT: CornerParams(
+        v_crit_mv=838.6,
+        v_crit_slope_mv_per_ghz=114.0,
+        droop_scale_mv=81.4,
+        droop_gamma=1.1,
+        core_offsets_mv=(40.0, 38.0, 25.0, 24.0, 10.0, 9.0, 1.0, 0.0),
+        leakage_fraction=0.20,
+        leakage_v0_mv=50.0,
+    ),
+    # Fast / high-leakage corner: benign under real workloads but very
+    # droop-sensitive at worst case (gamma >> 1).
+    # Virus Vmin = 868 + 87 = 955 mV -> observed safe point 960 mV,
+    # i.e. the paper's 20 mV margin.
+    ProcessCorner.TFF: CornerParams(
+        v_crit_mv=868.0,
+        v_crit_slope_mv_per_ghz=110.0,
+        droop_scale_mv=87.0,
+        droop_gamma=3.3,
+        core_offsets_mv=(22.0, 20.0, 14.0, 12.0, 7.0, 5.0, 2.0, 0.0),
+        leakage_fraction=0.34,
+        leakage_v0_mv=45.0,
+    ),
+    # Slow / low-leakage corner: highest intrinsic Vmin and the largest
+    # worst-case droop -- the virus crashes it 10 mV below nominal
+    # (virus Vmin 971.6 mV), i.e. effectively zero shaveable margin.
+    ProcessCorner.TSS: CornerParams(
+        v_crit_mv=860.6,
+        v_crit_slope_mv_per_ghz=118.0,
+        droop_scale_mv=111.0,
+        droop_gamma=2.0,
+        core_offsets_mv=(18.0, 17.0, 12.0, 11.0, 6.0, 5.0, 1.0, 0.0),
+        leakage_fraction=0.09,
+        leakage_v0_mv=55.0,
+    ),
+}

@@ -1,0 +1,85 @@
+"""On-board sensor models exposed through SLIMpro.
+
+The management processor reads SoC/DRAM power and temperature sensors.
+Each sensor wraps a callable 'physical truth' source and adds quantization
+and bounded update rate, matching how coarse the real board's telemetry
+is (which is exactly why the paper needed the EM side-channel for
+fine-grained noise sensing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Sensor:
+    """A quantized, rate-limited telemetry channel.
+
+    Attributes
+    ----------
+    name:
+        Channel name, e.g. ``"power.pmd"`` or ``"temp.dimm0"``.
+    source:
+        Zero-argument callable returning the physical truth value.
+    resolution:
+        Quantization step of the reported value (e.g. 0.1 W, 1 degC).
+    min_interval_s:
+        Minimum virtual-time spacing between distinct readings; reads
+        issued faster return the cached value -- the behaviour that makes
+        millisecond-scale droops invisible to the platform's own sensors.
+    """
+
+    name: str
+    source: Callable[[], float]
+    resolution: float = 0.1
+    min_interval_s: float = 0.1
+    _last_time: Optional[float] = field(default=None, init=False)
+    _last_value: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.resolution <= 0:
+            raise ConfigurationError("sensor resolution must be positive")
+
+    def read(self, now_s: float = 0.0) -> float:
+        """Read the channel at virtual time ``now_s``."""
+        if self._last_time is not None and now_s - self._last_time < self.min_interval_s:
+            return self._last_value
+        truth = float(self.source())
+        quantized = round(truth / self.resolution) * self.resolution
+        self._last_time = now_s
+        self._last_value = quantized
+        return quantized
+
+
+class SensorBank:
+    """A named collection of sensors with bulk read support."""
+
+    def __init__(self) -> None:
+        self._sensors: dict = {}
+
+    def add(self, sensor: Sensor) -> None:
+        if sensor.name in self._sensors:
+            raise ConfigurationError(f"duplicate sensor name {sensor.name!r}")
+        self._sensors[sensor.name] = sensor
+
+    def read(self, name: str, now_s: float = 0.0) -> float:
+        if name not in self._sensors:
+            raise KeyError(name)
+        return self._sensors[name].read(now_s)
+
+    def read_all(self, now_s: float = 0.0) -> dict:
+        """Snapshot every channel (a SLIMpro telemetry dump)."""
+        return {name: s.read(now_s) for name, s in sorted(self._sensors.items())}
+
+    def names(self) -> List[str]:
+        return sorted(self._sensors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sensors
+
+    def __len__(self) -> int:
+        return len(self._sensors)

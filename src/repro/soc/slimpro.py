@@ -1,0 +1,162 @@
+"""SLIMpro management-processor model.
+
+The Scalable Lightweight Intelligent Management Processor is the paper's
+control plane: it boots the system, exposes the on-board power and
+temperature sensors, reports every ECC-corrected/detected error up to the
+Linux kernel, and programs MCU parameters such as the refresh period
+(TREFP). Our model keeps that message-based flavour: callers issue typed
+requests and the SLIMpro mutates board state / returns telemetry, keeping
+an audit log the parsing phase of the framework consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, VoltageDomainError
+from repro.soc.domains import DomainName, VoltageRegulator, default_regulators
+from repro.soc.sensors import Sensor, SensorBank
+from repro.units import NOMINAL_REFRESH_S
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """A timestamped sensor sample as logged by SLIMpro."""
+
+    time_s: float
+    channel: str
+    value: float
+
+
+@dataclass(frozen=True)
+class EccReport:
+    """One ECC event forwarded to the kernel's EDAC layer."""
+
+    time_s: float
+    source: str          # e.g. "mcu0", "core3.l1d"
+    correctable: bool
+    address: int = 0
+
+    @property
+    def severity(self) -> str:
+        return "CE" if self.correctable else "UE"
+
+
+class SLIMpro:
+    """The management core: sensors, regulators, MCU config, ECC log.
+
+    Parameters
+    ----------
+    regulators:
+        The board's voltage rails; defaults to the X-Gene2 set.
+    num_mcus:
+        Memory control units whose TREFP is programmable (4 on X-Gene2).
+    """
+
+    def __init__(self, regulators: Optional[Dict[DomainName, VoltageRegulator]] = None,
+                 num_mcus: int = 4) -> None:
+        if num_mcus <= 0:
+            raise ConfigurationError("num_mcus must be positive")
+        self.regulators = regulators if regulators is not None else default_regulators()
+        self.sensors = SensorBank()
+        self._trefp_s: List[float] = [NOMINAL_REFRESH_S] * num_mcus
+        self._ecc_log: List[EccReport] = []
+        self._sensor_log: List[SensorReading] = []
+        self._booted = False
+
+    # ------------------------------------------------------------------
+    # Boot / reset
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        """Bring the board up at manufacturer defaults."""
+        for regulator in self.regulators.values():
+            regulator.reset_to_nominal()
+        self._trefp_s = [NOMINAL_REFRESH_S] * len(self._trefp_s)
+        self._booted = True
+
+    def power_cycle(self) -> None:
+        """Hard reset: what the harness's power switch triggers.
+
+        Clears volatile state but preserves the ECC/sensor audit logs
+        (they live on the management side, which stays powered).
+        """
+        self.boot()
+
+    @property
+    def booted(self) -> bool:
+        return self._booted
+
+    # ------------------------------------------------------------------
+    # Voltage control
+    # ------------------------------------------------------------------
+    def set_domain_voltage(self, domain: DomainName, target_mv: float) -> float:
+        """Program a rail; returns the applied (snapped) set-point."""
+        self._require_boot()
+        if domain not in self.regulators:
+            raise VoltageDomainError(f"no regulator for domain {domain}")
+        return self.regulators[domain].set_voltage(target_mv)
+
+    def domain_voltage(self, domain: DomainName) -> float:
+        return self.regulators[domain].current_mv
+
+    # ------------------------------------------------------------------
+    # MCU configuration (refresh period)
+    # ------------------------------------------------------------------
+    def set_refresh_period(self, trefp_s: float, mcu: Optional[int] = None) -> None:
+        """Program TREFP on one MCU, or on all when ``mcu`` is None."""
+        self._require_boot()
+        if trefp_s <= 0:
+            raise ConfigurationError("refresh period must be positive")
+        if mcu is None:
+            self._trefp_s = [trefp_s] * len(self._trefp_s)
+        else:
+            if not 0 <= mcu < len(self._trefp_s):
+                raise ConfigurationError(f"mcu index {mcu} out of range")
+            self._trefp_s[mcu] = trefp_s
+
+    def refresh_period(self, mcu: int = 0) -> float:
+        if not 0 <= mcu < len(self._trefp_s):
+            raise ConfigurationError(f"mcu index {mcu} out of range")
+        return self._trefp_s[mcu]
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def register_sensor(self, sensor: Sensor) -> None:
+        self.sensors.add(sensor)
+
+    def read_sensor(self, channel: str, now_s: float = 0.0) -> float:
+        value = self.sensors.read(channel, now_s)
+        self._sensor_log.append(SensorReading(now_s, channel, value))
+        return value
+
+    def telemetry_dump(self, now_s: float = 0.0) -> Dict[str, float]:
+        snapshot = self.sensors.read_all(now_s)
+        for channel, value in snapshot.items():
+            self._sensor_log.append(SensorReading(now_s, channel, value))
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Error reporting
+    # ------------------------------------------------------------------
+    def report_ecc(self, report: EccReport) -> None:
+        """Record an ECC event (MCU/cache hardware calls this)."""
+        self._ecc_log.append(report)
+
+    def ecc_events(self, since_s: float = 0.0) -> List[EccReport]:
+        """ECC events at or after ``since_s`` (kernel log extraction)."""
+        return [e for e in self._ecc_log if e.time_s >= since_s]
+
+    def correctable_count(self, since_s: float = 0.0) -> int:
+        return sum(1 for e in self.ecc_events(since_s) if e.correctable)
+
+    def uncorrectable_count(self, since_s: float = 0.0) -> int:
+        return sum(1 for e in self.ecc_events(since_s) if not e.correctable)
+
+    def sensor_history(self) -> List[SensorReading]:
+        return list(self._sensor_log)
+
+    def _require_boot(self) -> None:
+        if not self._booted:
+            raise ConfigurationError("SLIMpro operation before boot()")

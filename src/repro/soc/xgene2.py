@@ -1,0 +1,127 @@
+"""Platform factory: a fully-assembled simulated X-Gene2 board.
+
+``build_platform`` wires together one chip (at a chosen process corner),
+the voltage regulators, the SLIMpro with its sensor channels, and the
+per-domain power models with the wattage split calibrated to the paper's
+Figure 9 (31.1 W total under the Jammer workload at nominal settings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.rand import SeedLike
+from repro.soc.chip import Chip
+from repro.soc.corners import (
+    CORNER_PARAMS,
+    NOMINAL_PMD_MV,
+    NOMINAL_SOC_MV,
+    ProcessCorner,
+)
+from repro.soc.domains import DomainName
+from repro.soc.power import CorePowerModel
+from repro.soc.sensors import Sensor
+from repro.soc.slimpro import SLIMpro
+from repro.soc.topology import NOMINAL_FREQ_GHZ, SocTopology
+
+#: Nominal-domain wattage split under a fully-loaded server (the Jammer
+#: experiment's 31.1 W). "OTHER" covers fans, board losses, SLIMpro and
+#: the NIC -- everything the undervolting knobs cannot touch.
+DEFAULT_DOMAIN_WATTS: Dict[str, float] = {
+    "PMD": 15.5,
+    "SoC": 5.0,
+    "DRAM": 7.6,
+    "OTHER": 3.0,
+}
+
+
+@dataclass
+class XGene2Platform:
+    """One assembled board: chip + control plane + power models."""
+
+    chip: Chip
+    topology: SocTopology
+    slimpro: SLIMpro
+    pmd_power: CorePowerModel
+    soc_power: CorePowerModel
+    other_watts: float
+    dram_nominal_watts: float
+
+    @property
+    def corner(self) -> ProcessCorner:
+        return self.chip.corner
+
+    def pmd_voltage_mv(self) -> float:
+        return self.slimpro.domain_voltage(DomainName.PMD)
+
+    def soc_voltage_mv(self) -> float:
+        return self.slimpro.domain_voltage(DomainName.SOC)
+
+    def clocked_domain_watts(self, utilisation: float = 1.0) -> Dict[str, float]:
+        """PMD + SoC power (W) at the currently-programmed voltages."""
+        return {
+            "PMD": self.pmd_power.watts(self.pmd_voltage_mv(),
+                                        utilisation=utilisation),
+            "SoC": self.soc_power.watts(self.soc_voltage_mv(),
+                                        utilisation=utilisation),
+        }
+
+
+def build_platform(corner: ProcessCorner = ProcessCorner.TTT,
+                   seed: SeedLike = None,
+                   domain_watts: Optional[Dict[str, float]] = None,
+                   serial: Optional[str] = None) -> XGene2Platform:
+    """Assemble a booted platform around a chip of the given corner."""
+    watts = dict(DEFAULT_DOMAIN_WATTS)
+    if domain_watts:
+        watts.update(domain_watts)
+    chip = Chip(corner, seed=seed, serial=serial)
+    params = CORNER_PARAMS[corner]
+    slimpro = SLIMpro()
+    slimpro.boot()
+
+    pmd_power = CorePowerModel.for_corner(
+        params, nominal_mv=NOMINAL_PMD_MV, nominal_ghz=NOMINAL_FREQ_GHZ,
+        nominal_watts=watts["PMD"],
+    )
+    # The uncore runs at a fixed clock and is dominated by switching
+    # power; give it a small leakage share regardless of corner.
+    soc_power = CorePowerModel(
+        nominal_mv=NOMINAL_SOC_MV, nominal_ghz=NOMINAL_FREQ_GHZ,
+        leakage_fraction=0.02, leakage_v0_mv=params.leakage_v0_mv,
+        nominal_watts=watts["SoC"],
+    )
+    platform = XGene2Platform(
+        chip=chip,
+        topology=SocTopology(),
+        slimpro=slimpro,
+        pmd_power=pmd_power,
+        soc_power=soc_power,
+        other_watts=watts["OTHER"],
+        dram_nominal_watts=watts["DRAM"],
+    )
+    # Wire the basic telemetry channels the experiments poll.
+    slimpro.register_sensor(Sensor(
+        "power.pmd", lambda p=platform: p.clocked_domain_watts()["PMD"],
+        resolution=0.1,
+    ))
+    slimpro.register_sensor(Sensor(
+        "power.soc", lambda p=platform: p.clocked_domain_watts()["SoC"],
+        resolution=0.1,
+    ))
+    return platform
+
+
+def build_reference_chips(seed: SeedLike = None) -> Dict[ProcessCorner, Chip]:
+    """The paper's three socketed parts.
+
+    Reference parts carry zero manufacturing jitter: their per-core
+    offsets are exactly the calibrated corner values, so the headline
+    experiments reproduce the paper's figures deterministically.
+    """
+    return {
+        corner: Chip(corner, seed=seed, serial=f"{corner.value}-ref",
+                     jitter_sigma_mv=0.0)
+        for corner in ProcessCorner
+    }

@@ -1,0 +1,41 @@
+"""Temperature-controlled DRAM testbed (paper Section III.B).
+
+The paper built a first-of-its-kind thermal rig: per-DIMM heating
+adapters (resistive element + thermally conductive tape + thermocouple)
+driven by a controller board with a Raspberry Pi, four closed-loop PID
+controllers and eight solid-state relays -- one per DIMM rank -- holding
+any setpoint to within 1 degC.
+
+This package simulates that rig end-to-end:
+
+- :mod:`repro.thermal.plant` -- first-order thermal RC model of a DIMM
+  with a heating element;
+- :mod:`repro.thermal.pid` -- a discrete PID controller with anti-windup;
+- :mod:`repro.thermal.relay` -- time-proportioned solid-state relay;
+- :mod:`repro.thermal.sensors` -- thermocouple and SPD-sensor reads;
+- :mod:`repro.thermal.testbed` -- the 8-zone controller board running on
+  the simkit event loop, with the <1 degC regulation property verified
+  by the test suite.
+"""
+
+from repro.thermal.binding import ThermalDramBinding, ZoneBinding
+from repro.thermal.plant import ThermalPlant, PlantParams
+from repro.thermal.pid import PidController, PidGains
+from repro.thermal.relay import SolidStateRelay
+from repro.thermal.sensors import Thermocouple, SpdSensor
+from repro.thermal.testbed import ThermalTestbed, ZoneConfig, ZoneReport
+
+__all__ = [
+    "PidController",
+    "PidGains",
+    "PlantParams",
+    "SolidStateRelay",
+    "SpdSensor",
+    "ThermalDramBinding",
+    "ThermalPlant",
+    "ThermalTestbed",
+    "Thermocouple",
+    "ZoneBinding",
+    "ZoneConfig",
+    "ZoneReport",
+]

@@ -1,0 +1,104 @@
+"""Binding thermal zones to DRAM devices.
+
+The paper's testbed heats each DIMM *rank* independently (8 zones), so
+different devices on the board can sit at different temperatures during
+one experiment. This module maps testbed zones onto the DRAM geometry
+and evaluates retention queries at each device's own regulated
+temperature -- enabling gradient studies (e.g. one hot DIMM among cool
+ones) that a single-temperature query cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.cells import DramDevicePopulation
+from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigurationError
+from repro.thermal.testbed import ThermalTestbed
+
+
+@dataclass(frozen=True)
+class ZoneBinding:
+    """Assignment of testbed zones to (dimm, rank) pairs."""
+
+    geometry: DramGeometry
+    zone_of_rank: Dict[tuple, int]   # (dimm, rank) -> zone index
+
+    def __post_init__(self) -> None:
+        expected = {(d, r) for d in range(self.geometry.num_dimms)
+                    for r in range(self.geometry.ranks_per_dimm)}
+        if set(self.zone_of_rank) != expected:
+            raise ConfigurationError(
+                "binding must cover every (dimm, rank) pair exactly once")
+
+    @classmethod
+    def paper_default(cls, geometry: DramGeometry) -> "ZoneBinding":
+        """One zone per rank, zones numbered dimm-major (the rig's wiring)."""
+        mapping = {}
+        zone = 0
+        for dimm in range(geometry.num_dimms):
+            for rank in range(geometry.ranks_per_dimm):
+                mapping[(dimm, rank)] = zone % 8
+                zone += 1
+        return cls(geometry=geometry, zone_of_rank=mapping)
+
+    def zone_of_device(self, device: int) -> int:
+        dimm, rank, _slot = self.geometry.device_location(device)
+        return self.zone_of_rank[(dimm, rank)]
+
+
+class ThermalDramBinding:
+    """Evaluates retention queries at per-device regulated temperatures."""
+
+    def __init__(self, population: DramDevicePopulation,
+                 testbed: ThermalTestbed,
+                 binding: Optional[ZoneBinding] = None) -> None:
+        self.population = population
+        self.testbed = testbed
+        self.binding = binding or ZoneBinding.paper_default(
+            population.geometry)
+        max_zone = max(self.binding.zone_of_rank.values())
+        if max_zone >= len(testbed.configs):
+            raise ConfigurationError(
+                f"binding references zone {max_zone} but the testbed has "
+                f"{len(testbed.configs)} zones")
+
+    def device_temperature_c(self, device: int) -> float:
+        """The device's current regulated temperature."""
+        return self.testbed.zone_temperature_c(
+            self.binding.zone_of_device(device))
+
+    def device_unique_locations(self, device: int,
+                                interval_s: float) -> List[int]:
+        """Per-bank weak-cell counts at the device's own temperature."""
+        return self.population.device_unique_locations(
+            device, interval_s, self.device_temperature_c(device))
+
+    def board_unique_locations(self, interval_s: float) -> Dict[int, int]:
+        """device -> total weak cells, each at its zone's temperature."""
+        return {
+            device: sum(self.device_unique_locations(device, interval_s))
+            for device in self.population.geometry.device_ids()
+        }
+
+    def gradient_summary(self, interval_s: float) -> Dict[int, Dict[str, float]]:
+        """Per-zone mean weak-cell totals and temperature.
+
+        The gradient experiment's deliverable: hot zones must show the
+        Arrhenius-amplified counts while cool zones stay low, device by
+        device on the *same* board.
+        """
+        per_zone: Dict[int, List[int]] = {}
+        for device, total in self.board_unique_locations(interval_s).items():
+            per_zone.setdefault(
+                self.binding.zone_of_device(device), []).append(total)
+        return {
+            zone: {
+                "temperature_c": self.testbed.zone_temperature_c(zone),
+                "mean_weak_cells": sum(totals) / len(totals),
+                "devices": float(len(totals)),
+            }
+            for zone, totals in sorted(per_zone.items())
+        }

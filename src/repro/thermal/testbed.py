@@ -1,0 +1,168 @@
+"""The eight-zone thermal testbed controller board.
+
+Glues plants, sensors, PID loops and relays into the rig of paper
+Figure 3: one zone per DIMM rank (4 DIMMs x 2 ranks = 8 zones), a shared
+control tick running on the simkit event loop, and per-zone regulation
+telemetry. The acceptance property -- steady-state deviation below
+1 degC -- is validated by ``tests/test_thermal_testbed.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.rand import SeedLike
+from repro.simkit import Simulator
+from repro.thermal.pid import PidController, PidGains
+from repro.thermal.plant import PlantParams, ThermalPlant
+from repro.thermal.relay import SolidStateRelay
+from repro.thermal.sensors import SpdSensor, Thermocouple
+
+NUM_ZONES = 8
+
+
+@dataclass(frozen=True)
+class ZoneConfig:
+    """Configuration of one heated zone (one DIMM rank)."""
+
+    setpoint_c: float
+    plant: PlantParams = PlantParams()
+    gains: PidGains = PidGains()
+
+    def __post_init__(self) -> None:
+        if not 20.0 <= self.setpoint_c <= 110.0:
+            raise ConfigurationError(
+                f"setpoint {self.setpoint_c} degC outside the rig's 20..110 range"
+            )
+
+
+@dataclass
+class ZoneReport:
+    """Regulation telemetry for one zone after a run."""
+
+    zone: int
+    setpoint_c: float
+    final_c: float
+    max_abs_error_steady_c: float
+    settle_time_s: Optional[float]
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def within_one_degree(self) -> bool:
+        """The paper's spec: steady-state deviation < 1 degC."""
+        return self.max_abs_error_steady_c < 1.0
+
+
+class ThermalTestbed:
+    """The controller board: 8 PID zones on one event loop.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`ZoneConfig` per zone (up to 8).
+    control_period_s:
+        PID tick period (the Raspberry Pi loop rate).
+    ambient_c:
+        Lab ambient temperature.
+    seed:
+        Seed for sensor noise streams.
+    """
+
+    def __init__(self, configs: List[ZoneConfig], control_period_s: float = 2.0,
+                 ambient_c: float = 28.0, seed: SeedLike = None) -> None:
+        if not 1 <= len(configs) <= NUM_ZONES:
+            raise ConfigurationError(f"1..{NUM_ZONES} zones supported")
+        if control_period_s <= 0:
+            raise ConfigurationError("control period must be positive")
+        self.sim = Simulator()
+        self.control_period_s = control_period_s
+        self.configs = list(configs)
+        self.plants = [ThermalPlant(cfg.plant, ambient_c=ambient_c) for cfg in configs]
+        self.pids = [PidController(cfg.setpoint_c, cfg.gains) for cfg in configs]
+        self.relays = [SolidStateRelay(max_power_w=cfg.plant.heater_max_w)
+                       for cfg in configs]
+        self.thermocouples = [
+            Thermocouple(source=plant_reader(p), seed=seed) for p in self.plants
+        ]
+        self.spd_sensors = [SpdSensor(source=plant_reader(p)) for p in self.plants]
+        self._history: List[List[float]] = [[] for _ in configs]
+        self._last_tick_s = 0.0
+        self._ticking = False
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        dt = self.sim.now - self._last_tick_s
+        if dt <= 0:
+            dt = self.control_period_s
+        self._last_tick_s = self.sim.now
+        for i, plant in enumerate(self.plants):
+            plant.step(dt)
+            # Fuse the fast thermocouple with the unbiased SPD read: the
+            # SPD anchors the offset, the thermocouple provides speed.
+            tc = self.thermocouples[i].read_c()
+            spd = self.spd_sensors[i].read_c(self.sim.now)
+            fused = tc - self.thermocouples[i].bias_c * 0.5 + (spd - tc) * 0.2
+            duty = self.pids[i].update(fused, dt)
+            power = self.relays[i].command(duty)
+            plant.set_heater(power)
+            self._history[i].append(plant.temperature_c)
+        if self._ticking:
+            self.sim.schedule(self.control_period_s, self._tick)
+
+    def run(self, duration_s: float) -> List[ZoneReport]:
+        """Regulate for ``duration_s`` of virtual time; return reports."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        self._ticking = True
+        self.sim.schedule(0.0, self._tick)
+        self.sim.run_until(self.sim.now + duration_s)
+        self._ticking = False
+        return [self._report(i) for i in range(len(self.configs))]
+
+    def set_setpoint(self, zone: int, setpoint_c: float) -> None:
+        """Retarget one zone mid-experiment (50 -> 60 degC sweeps)."""
+        if not 0 <= zone < len(self.configs):
+            raise ConfigurationError(f"zone {zone} out of range")
+        self.pids[zone].set_setpoint(setpoint_c)
+        self.configs[zone] = ZoneConfig(
+            setpoint_c=setpoint_c,
+            plant=self.configs[zone].plant,
+            gains=self.configs[zone].gains,
+        )
+        self._history[zone].clear()
+
+    def zone_temperature_c(self, zone: int) -> float:
+        return self.plants[zone].temperature_c
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, zone: int) -> ZoneReport:
+        history = self._history[zone]
+        setpoint = self.pids[zone].setpoint_c
+        # Steady-state window: the last third of the run.
+        steady = history[len(history) * 2 // 3:] if history else []
+        max_err = max((abs(t - setpoint) for t in steady), default=float("inf"))
+        settle = None
+        for idx, temp in enumerate(history):
+            if abs(temp - setpoint) < 1.0:
+                if all(abs(t - setpoint) < 1.0 for t in history[idx:]):
+                    settle = idx * self.control_period_s
+                    break
+        return ZoneReport(
+            zone=zone,
+            setpoint_c=setpoint,
+            final_c=self.plants[zone].temperature_c,
+            max_abs_error_steady_c=max_err,
+            settle_time_s=settle,
+            samples=list(history),
+        )
+
+
+def plant_reader(plant: ThermalPlant):
+    """A zero-argument reader bound to one plant's temperature."""
+    return lambda: plant.temperature_c

@@ -1,0 +1,156 @@
+"""Component-isolating micro-viruses (paper Section I / III.C).
+
+Because pipeline and caches share one voltage domain, the paper crafts
+synthetic programs that isolate particular structures -- both L1 caches,
+the L2, and the integer/FP ALUs -- by exploiting architectural and
+micro-architectural properties of the X-Gene2 (e.g. loop bodies larger
+than the L1I to force instruction-fetch pressure, pointer-chasing
+strides confined to one cache level, long dependent arithmetic chains
+that keep a single functional unit saturated).
+
+Each virus couples an instruction loop with the fault site it exposes,
+so when a run at low voltage fails the campaign can attribute the
+failure to SRAM versus logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cpu.faults import FaultSite
+from repro.cpu.isa import InstrClass
+from repro.cpu.kernels import InstructionLoop
+
+
+class TargetComponent(enum.Enum):
+    """The structures the paper's micro-viruses isolate."""
+
+    L1I = "l1i"
+    L1D = "l1d"
+    L2 = "l2"
+    INT_ALU = "int_alu"
+    FP_ALU = "fp_alu"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ComponentVirus:
+    """A micro-virus: loop + the structure it stresses.
+
+    Attributes
+    ----------
+    target:
+        The isolated component.
+    loop:
+        The instruction loop realizing the isolation.
+    fault_site:
+        Where failures manifest when this virus trips at low voltage.
+    sdc_bias:
+        Probability that a mid-band failure of this virus escapes
+        detection; datapath viruses have high bias (no ECC on ALUs),
+        cache viruses low (SECDED/parity catch most flips).
+    residency_bias_mv:
+        How much *earlier* (in mV) this virus exposes its component
+        relative to the generic workload Vmin -- a virus that parks all
+        state in one array sensitizes that array's weakest cells.
+    """
+
+    target: TargetComponent
+    loop: InstructionLoop
+    fault_site: FaultSite
+    sdc_bias: float
+    residency_bias_mv: float
+
+    @property
+    def name(self) -> str:
+        return f"virus-{self.target.value}"
+
+
+def _l1i_virus() -> ComponentVirus:
+    # A long straight-line body with frequent branches models a loop
+    # larger than the 32 KB L1I: sustained instruction-fetch pressure,
+    # minimal data traffic.
+    body: List[InstrClass] = []
+    for _ in range(24):
+        body.extend([InstrClass.INT_ALU, InstrClass.INT_ALU, InstrClass.BRANCH])
+    return ComponentVirus(
+        target=TargetComponent.L1I,
+        loop=InstructionLoop.of(body),
+        fault_site=FaultSite.L1I_DATA,
+        sdc_bias=0.05,
+        residency_bias_mv=8.0,
+    )
+
+
+def _l1d_virus() -> ComponentVirus:
+    # Streaming loads/stores confined to a 32 KB footprint: every access
+    # hits the L1D, keeping its cells continuously exercised.
+    body = [InstrClass.LOAD_L1, InstrClass.STORE] * 32
+    return ComponentVirus(
+        target=TargetComponent.L1D,
+        loop=InstructionLoop.of(body),
+        fault_site=FaultSite.L1D_DATA,
+        sdc_bias=0.05,
+        residency_bias_mv=10.0,
+    )
+
+
+def _l2_virus() -> ComponentVirus:
+    # A pointer chase with a stride that always misses L1 but fits the
+    # 256 KB L2: every load lands in the L2 arrays.
+    body = [InstrClass.LOAD_L2, InstrClass.INT_ALU] * 24
+    return ComponentVirus(
+        target=TargetComponent.L2,
+        loop=InstructionLoop.of(body),
+        fault_site=FaultSite.L2_DATA,
+        sdc_bias=0.08,
+        residency_bias_mv=9.0,
+    )
+
+
+def _int_alu_virus() -> ComponentVirus:
+    # Dependent multiply chains saturate the integer unit and its
+    # forwarding paths -- the classic logic-path speed test.
+    body = [InstrClass.INT_MUL, InstrClass.INT_ALU, InstrClass.INT_ALU] * 20
+    return ComponentVirus(
+        target=TargetComponent.INT_ALU,
+        loop=InstructionLoop.of(body),
+        fault_site=FaultSite.ALU_DATAPATH,
+        sdc_bias=0.60,
+        residency_bias_mv=6.0,
+    )
+
+
+def _fp_alu_virus() -> ComponentVirus:
+    # Back-to-back FMA/SIMD keeps the FP unit's longest paths switching.
+    body = [InstrClass.FP_FMA, InstrClass.SIMD, InstrClass.FP_MUL] * 20
+    return ComponentVirus(
+        target=TargetComponent.FP_ALU,
+        loop=InstructionLoop.of(body),
+        fault_site=FaultSite.FP_DATAPATH,
+        sdc_bias=0.65,
+        residency_bias_mv=7.0,
+    )
+
+
+_BUILDERS = {
+    TargetComponent.L1I: _l1i_virus,
+    TargetComponent.L1D: _l1d_virus,
+    TargetComponent.L2: _l2_virus,
+    TargetComponent.INT_ALU: _int_alu_virus,
+    TargetComponent.FP_ALU: _fp_alu_virus,
+}
+
+
+def component_virus(target: TargetComponent) -> ComponentVirus:
+    """Build the micro-virus isolating ``target``."""
+    return _BUILDERS[target]()
+
+
+def all_component_viruses() -> Dict[TargetComponent, ComponentVirus]:
+    """The full suite, keyed by target."""
+    return {target: builder() for target, builder in _BUILDERS.items()}

@@ -1,0 +1,71 @@
+"""DRAM data-pattern benchmarks (DPBenches).
+
+The paper stresses DRAM with all-0s, all-1s, checkerboard and random
+patterns -- write the pattern across the whole memory, idle for the
+refresh interval, read back and compare (Section III.C, following Liu et
+al. [19]). Each benchmark here knows how to generate its pattern words,
+what stress profile it exerts on weak cells, and how to check read-back
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.dram.errors_model import DataStressProfile, PatternKind
+from repro.dram.retention import RetentionParams
+from repro.errors import ConfigurationError
+from repro.rand import SeedLike, substream
+
+
+@dataclass(frozen=True)
+class DataPatternBenchmark:
+    """One DPBench: a pattern generator plus its stress semantics."""
+
+    kind: PatternKind
+    seed_label: str = "dpbench"
+
+    @property
+    def name(self) -> str:
+        return f"dpbench-{self.kind.value}"
+
+    def pattern_words(self, count: int, seed: SeedLike = None) -> np.ndarray:
+        """Generate ``count`` 64-bit pattern words."""
+        if count <= 0:
+            raise ConfigurationError("word count must be positive")
+        if self.kind is PatternKind.ALL_ZEROS:
+            return np.zeros(count, dtype=np.uint64)
+        if self.kind is PatternKind.ALL_ONES:
+            return np.full(count, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        if self.kind is PatternKind.CHECKERBOARD:
+            words = np.empty(count, dtype=np.uint64)
+            words[0::2] = np.uint64(0xAAAAAAAAAAAAAAAA)
+            words[1::2] = np.uint64(0x5555555555555555)
+            return words
+        rng = substream(seed, self.seed_label)
+        return rng.integers(0, 2**64, size=count, dtype=np.uint64)
+
+    def stress_profile(self, params: RetentionParams) -> DataStressProfile:
+        """The stress this pattern exerts (delegates to the BER model)."""
+        from repro.dram.errors_model import BitErrorModel
+        from repro.dram.retention import RetentionModel
+        return BitErrorModel(RetentionModel(params)).pattern_stress(self.kind)
+
+    @staticmethod
+    def compare(written: np.ndarray, read_back: np.ndarray) -> int:
+        """Count flipped bits between written and read-back words."""
+        if written.shape != read_back.shape:
+            raise ConfigurationError("word arrays must have matching shapes")
+        diff = np.bitwise_xor(written, read_back)
+        return int(sum(bin(int(w)).count("1") for w in diff))
+
+
+def dpbench_suite() -> List[DataPatternBenchmark]:
+    """The paper's four benchmarks, in its reporting order."""
+    return [DataPatternBenchmark(kind) for kind in (
+        PatternKind.ALL_ZEROS, PatternKind.ALL_ONES,
+        PatternKind.CHECKERBOARD, PatternKind.RANDOM,
+    )]

@@ -1,0 +1,112 @@
+"""Workload signature dataclasses.
+
+A workload's behaviour is summarized by the quantities the
+characterization framework actually consumes:
+
+- ``resonant_swing`` -- the normalized supply-current swing at the PDN
+  resonance the workload produces while running (drives Vmin through
+  the chip's droop model);
+- performance-counter style features (IPC, FP/memory/branch ratios) --
+  inputs to the Vmin predictor;
+- an optional :class:`DramProfile` -- footprint, hot-row fraction, data
+  entropy and sustained bandwidth (drives the DRAM BER and power
+  models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class DramProfile:
+    """DRAM-side signature of a workload.
+
+    Attributes
+    ----------
+    footprint_mb:
+        Resident DRAM footprint in MiB.
+    hot_row_fraction:
+        Share of the footprint's rows re-activated faster than the
+        (relaxed) refresh period -- those rows are inherently refreshed.
+    data_entropy:
+        Bit-level entropy of the stored data in [0, 1]; 0 behaves like a
+        solid pattern, 1 like the random DPBench.
+    bandwidth_gbs:
+        Sustained DRAM bandwidth in GB/s (drives access power).
+    """
+
+    footprint_mb: float
+    hot_row_fraction: float
+    data_entropy: float
+    bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.footprint_mb <= 0:
+            raise WorkloadError("footprint must be positive")
+        if not 0.0 <= self.hot_row_fraction <= 1.0:
+            raise WorkloadError("hot_row_fraction must be in [0, 1]")
+        if not 0.0 <= self.data_entropy <= 1.0:
+            raise WorkloadError("data_entropy must be in [0, 1]")
+        if self.bandwidth_gbs < 0:
+            raise WorkloadError("bandwidth cannot be negative")
+
+
+@dataclass(frozen=True)
+class CpuWorkload:
+    """CPU-side signature of a named benchmark.
+
+    ``resonant_swing`` values are calibrated to the paper's per-program
+    Vmin measurements (Figures 4 and 6); counter features are modelled
+    on each program's published characterization and feed the Vmin
+    predictor.
+    """
+
+    name: str
+    suite: str
+    resonant_swing: float
+    ipc: float
+    fp_ratio: float
+    mem_ratio: float
+    branch_ratio: float
+    l2_miss_ratio: float
+    sdc_bias: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.resonant_swing <= 1.0:
+            raise WorkloadError(f"{self.name}: swing must be in [0, 1]")
+        if self.ipc <= 0:
+            raise WorkloadError(f"{self.name}: IPC must be positive")
+        for field_name in ("fp_ratio", "mem_ratio", "branch_ratio",
+                           "l2_miss_ratio", "sdc_bias"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(f"{self.name}: {field_name} must be in [0, 1]")
+
+    def predictor_features(self) -> np.ndarray:
+        """Feature vector (with intercept) for the Vmin predictor."""
+        return np.array([
+            1.0, self.ipc, self.fp_ratio, self.mem_ratio,
+            self.branch_ratio, self.l2_miss_ratio,
+        ])
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete workload: CPU signature plus optional DRAM profile."""
+
+    cpu: CpuWorkload
+    dram: Optional[DramProfile] = None
+
+    @property
+    def name(self) -> str:
+        return self.cpu.name
+
+    @property
+    def resonant_swing(self) -> float:
+        return self.cpu.resonant_swing

@@ -1,0 +1,71 @@
+"""Component failure attribution: cache SRAM vs pipeline logic."""
+
+import pytest
+
+from repro.core.attribution import (
+    FailureRegion,
+    REGION_OF_TARGET,
+    run_attribution,
+)
+from repro.viruses.components import TargetComponent
+
+
+@pytest.fixture(scope="module")
+def report(ttt_chip):
+    return run_attribution(ttt_chip, seed=1)
+
+
+def test_every_component_estimated(report):
+    targets = {e.target for e in report.estimates}
+    assert targets == set(TargetComponent)
+
+
+def test_region_mapping_complete():
+    assert set(REGION_OF_TARGET) == set(TargetComponent)
+    cache = {t for t, r in REGION_OF_TARGET.items()
+             if r is FailureRegion.CACHE_SRAM}
+    assert cache == {TargetComponent.L1I, TargetComponent.L1D,
+                     TargetComponent.L2}
+
+
+def test_region_vmins_positive_and_distinct(report):
+    sram = report.region_vmin_mv(FailureRegion.CACHE_SRAM)
+    logic = report.region_vmin_mv(FailureRegion.PIPELINE_LOGIC)
+    assert sram > 0 and logic > 0
+    assert report.region_gap_mv == pytest.approx(abs(sram - logic))
+
+
+def test_first_failing_region_consistent(report):
+    first = report.first_failing_region
+    other = (FailureRegion.PIPELINE_LOGIC
+             if first is FailureRegion.CACHE_SRAM
+             else FailureRegion.CACHE_SRAM)
+    assert report.region_vmin_mv(first) >= report.region_vmin_mv(other)
+
+
+def test_ladder_sorted_descending(report):
+    ladder = report.ladder()
+    vmins = [e.vmin_mv for e in ladder]
+    assert vmins == sorted(vmins, reverse=True)
+
+
+def test_estimates_near_workload_vmin_band(report, ttt_chip):
+    """Component onsets sit in the same band as workload Vmins plus the
+    residency sensitization -- not at wildly different voltages."""
+    for estimate in report.estimates:
+        assert 820.0 < estimate.vmin_mv < 960.0
+
+
+def test_attribution_deterministic(ttt_chip):
+    a = run_attribution(ttt_chip, seed=1)
+    b = run_attribution(ttt_chip, seed=1)
+    assert a.estimates == b.estimates
+    assert a.sram_array_vmin_mv == b.sram_array_vmin_mv
+
+
+def test_attribution_includes_sram_array_model(report):
+    # The cache-region verdict must consider the SRAM arrays' own Vmin,
+    # not just the virus-exposed onsets.
+    assert report.sram_array_vmin_mv > 800.0
+    assert report.region_vmin_mv(FailureRegion.CACHE_SRAM) >= \
+        report.sram_array_vmin_mv

@@ -1,0 +1,50 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    for name in ("fig4", "fig5", "fig6", "fig7", "table1",
+                 "fig8a", "fig8b", "fig9", "stencil"):
+        assert name in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown" in err
+
+
+def test_run_fast_fig8a(capsys):
+    assert main(["run", "fig8a", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8a" in out
+    assert "[fig8a:" in out
+
+
+def test_run_fast_fig4(capsys):
+    assert main(["run", "fig4", "--seed", "1", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 4" in out
+    assert "TSS" in out
+
+
+def test_run_fast_stencil(capsys):
+    assert main(["run", "stencil", "--seed", "1", "--fast"]) == 0
+    assert "Stencil" in capsys.readouterr().out
+
+
+def test_run_fast_multiprocess(capsys):
+    assert main(["run", "multiprocess", "--seed", "1", "--fast"]) == 0
+    assert "multi-process" in capsys.readouterr().out
+
+
+def test_report_fast(capsys):
+    assert main(["report", "--seed", "1", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "REPRODUCTION REPORT" in out
+    assert "ALL SHAPE CHECKS PASS" in out

@@ -1,0 +1,77 @@
+"""Component-isolating micro-viruses."""
+
+import pytest
+
+from repro.cpu.faults import FaultSite
+from repro.cpu.isa import spec_of
+from repro.viruses.components import (
+    TargetComponent,
+    all_component_viruses,
+    component_virus,
+)
+
+
+def test_full_suite_present():
+    suite = all_component_viruses()
+    assert set(suite) == set(TargetComponent)
+
+
+def test_l1d_virus_is_memory_resident():
+    virus = component_virus(TargetComponent.L1D)
+    mem = sum(1 for k in virus.loop if spec_of(k).touches_memory)
+    assert mem / len(virus.loop) > 0.9
+    assert virus.fault_site is FaultSite.L1D_DATA
+
+
+def test_l1i_virus_is_branch_heavy_fetch_pressure():
+    virus = component_virus(TargetComponent.L1I)
+    branches = sum(1 for k in virus.loop if k.value == "branch")
+    assert branches >= len(virus.loop) / 4
+    assert virus.fault_site is FaultSite.L1I_DATA
+
+
+def test_l2_virus_misses_l1():
+    virus = component_virus(TargetComponent.L2)
+    l2_loads = sum(1 for k in virus.loop if k.value == "load_l2")
+    assert l2_loads > 0
+    assert virus.fault_site is FaultSite.L2_DATA
+
+
+def test_fp_virus_saturates_fp_unit():
+    virus = component_virus(TargetComponent.FP_ALU)
+    fp = sum(1 for k in virus.loop if spec_of(k).uses_fp)
+    assert fp == len(virus.loop)
+    assert virus.fault_site is FaultSite.FP_DATAPATH
+
+
+def test_int_virus_avoids_fp_and_memory():
+    virus = component_virus(TargetComponent.INT_ALU)
+    for k in virus.loop:
+        assert not spec_of(k).uses_fp
+        assert not spec_of(k).touches_memory
+
+
+def test_datapath_viruses_have_high_sdc_bias():
+    """ALU failures are unprotected -> mostly silent corruption."""
+    suite = all_component_viruses()
+    cache_bias = max(suite[t].sdc_bias for t in
+                     (TargetComponent.L1I, TargetComponent.L1D, TargetComponent.L2))
+    alu_bias = min(suite[t].sdc_bias for t in
+                   (TargetComponent.INT_ALU, TargetComponent.FP_ALU))
+    assert alu_bias > cache_bias
+
+
+def test_virus_names_unique():
+    names = [v.name for v in all_component_viruses().values()]
+    assert len(names) == len(set(names))
+
+
+def test_fault_classification_consistency():
+    """Each virus's fault site maps to a plausible outcome class."""
+    from repro.cpu.faults import FaultEvent, classify_fault
+    from repro.cpu.outcomes import RunOutcome
+    suite = all_component_viruses()
+    assert classify_fault(FaultEvent(suite[TargetComponent.L1D].fault_site, 1)) \
+        is RunOutcome.CORRECTED_ERROR
+    assert classify_fault(FaultEvent(suite[TargetComponent.FP_ALU].fault_site, 1)) \
+        is RunOutcome.SDC

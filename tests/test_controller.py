@@ -1,0 +1,81 @@
+"""Memory-control-unit scrub path: weak cells -> real ECC -> reports."""
+
+import pytest
+
+from repro.dram.cells import WeakCellMap
+from repro.dram.controller import MemoryControlUnit
+from repro.dram.errors_model import PatternKind
+from repro.dram.geometry import BankAddress
+from repro.errors import ConfigurationError
+from repro.soc.slimpro import SLIMpro
+from repro.units import NOMINAL_REFRESH_S, RELAXED_REFRESH_S
+
+
+@pytest.fixture()
+def slimpro() -> SLIMpro:
+    sp = SLIMpro()
+    sp.boot()
+    return sp
+
+
+@pytest.fixture(scope="module")
+def weak_map() -> WeakCellMap:
+    return WeakCellMap(BankAddress(0, 0), seed=77)
+
+
+def test_nominal_refresh_scrub_is_clean(weak_map, slimpro):
+    mcu = MemoryControlUnit(0, slimpro, trefp_s=NOMINAL_REFRESH_S)
+    result = mcu.scrub_bank(weak_map, temp_c=60.0)
+    assert result.raw_bit_errors == 0
+    assert result.all_corrected
+
+
+def test_relaxed_refresh_errors_all_corrected(weak_map, slimpro):
+    """The paper's claim at <= 60 degC: SECDED corrects everything."""
+    mcu = MemoryControlUnit(0, slimpro, trefp_s=RELAXED_REFRESH_S)
+    result = mcu.scrub_bank(weak_map, temp_c=60.0)
+    assert result.raw_bit_errors > 0
+    assert result.all_corrected
+    assert result.corrected_words == result.raw_bit_errors  # all singles
+
+
+def test_ce_reports_reach_slimpro(weak_map, slimpro):
+    mcu = MemoryControlUnit(0, slimpro, trefp_s=RELAXED_REFRESH_S)
+    result = mcu.scrub_bank(weak_map, temp_c=60.0, now_s=5.0)
+    assert slimpro.correctable_count(since_s=4.0) == result.corrected_words
+    events = slimpro.ecc_events(since_s=4.0)
+    assert all(e.source == "mcu0" for e in events)
+
+
+def test_pattern_affects_raw_error_count(weak_map, slimpro):
+    mcu = MemoryControlUnit(0, slimpro, trefp_s=RELAXED_REFRESH_S)
+    random_errors = mcu.scrub_bank(weak_map, 60.0, PatternKind.RANDOM)
+    zeros_errors = mcu.scrub_bank(weak_map, 60.0, PatternKind.ALL_ZEROS)
+    assert zeros_errors.raw_bit_errors < random_errors.raw_bit_errors
+
+
+def test_solid_patterns_partition_population(weak_map, slimpro):
+    mcu = MemoryControlUnit(0, slimpro, trefp_s=RELAXED_REFRESH_S)
+    ones = mcu.scrub_bank(weak_map, 60.0, PatternKind.ALL_ONES)
+    zeros = mcu.scrub_bank(weak_map, 60.0, PatternKind.ALL_ZEROS)
+    union = weak_map.failing_count(RELAXED_REFRESH_S, 60.0, coupling=1.0)
+    assert ones.raw_bit_errors + zeros.raw_bit_errors == union
+
+
+def test_set_trefp(slimpro):
+    mcu = MemoryControlUnit(0, slimpro)
+    mcu.set_trefp(2.283)
+    assert mcu.trefp_s == 2.283
+    with pytest.raises(ConfigurationError):
+        mcu.set_trefp(-1.0)
+
+
+def test_mcu_without_slimpro_still_scrubs(weak_map):
+    mcu = MemoryControlUnit(0, slimpro=None, trefp_s=RELAXED_REFRESH_S)
+    result = mcu.scrub_bank(weak_map, temp_c=60.0)
+    assert result.words_scanned >= result.corrected_words
+
+
+def test_invalid_mcu_index():
+    with pytest.raises(ConfigurationError):
+        MemoryControlUnit(-1)

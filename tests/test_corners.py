@@ -1,0 +1,95 @@
+"""Process-corner parameter calibration."""
+
+import pytest
+
+from repro.soc.corners import (
+    CORNER_PARAMS,
+    NOMINAL_PMD_MV,
+    CornerParams,
+    ProcessCorner,
+)
+
+
+def test_all_three_corners_defined():
+    assert set(CORNER_PARAMS) == set(ProcessCorner)
+
+
+def test_strongest_core_offset_zero():
+    for params in CORNER_PARAMS.values():
+        assert min(params.core_offsets_mv) == 0.0
+
+
+def test_weakest_cores_on_pmd0(ttt_chip=None):
+    # The paper identifies PMDs 0 and 1 as the weakest on the TTT part.
+    params = CORNER_PARAMS[ProcessCorner.TTT]
+    offsets = params.core_offsets_mv
+    assert max(offsets) == offsets[0]
+    assert sorted(offsets[:4], reverse=True) == list(offsets[:4])
+
+
+def test_virus_vmin_calibration():
+    # swing=1 gives the Figure 7 virus Vmin per chip:
+    # TTT 920, TFF 955, TSS ~971.6 (crashes 10 mV below nominal).
+    expect = {ProcessCorner.TTT: 920.0, ProcessCorner.TFF: 955.0,
+              ProcessCorner.TSS: 971.6}
+    for corner, target in expect.items():
+        params = CORNER_PARAMS[corner]
+        assert params.v_crit_mv + params.droop_mv(1.0) == pytest.approx(target, abs=0.1)
+
+
+def test_spec_range_calibration():
+    # Lowest/highest SPEC swings (0.28, 0.595) land in the Figure 4
+    # ranges for each corner's most robust core.
+    ranges = {ProcessCorner.TTT: (855.0, 885.0),
+              ProcessCorner.TFF: (865.0, 885.0),
+              ProcessCorner.TSS: (865.0, 900.0)}
+    for corner, (lo, hi) in ranges.items():
+        params = CORNER_PARAMS[corner]
+        low = params.v_crit_mv + params.droop_mv(0.28)
+        high = params.v_crit_mv + params.droop_mv(0.595)
+        assert lo <= low <= high <= hi
+
+
+def test_droop_monotonic_in_swing():
+    for params in CORNER_PARAMS.values():
+        droops = [params.droop_mv(s) for s in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert droops == sorted(droops)
+        assert droops[0] == 0.0
+
+
+def test_droop_clamps_swing():
+    params = CORNER_PARAMS[ProcessCorner.TTT]
+    assert params.droop_mv(1.5) == params.droop_mv(1.0)
+    assert params.droop_mv(-0.5) == 0.0
+
+
+def test_v_crit_decreases_with_frequency():
+    for params in CORNER_PARAMS.values():
+        assert params.v_crit_at(1.2) < params.v_crit_at(2.4)
+        assert params.v_crit_at(2.4) == params.v_crit_mv
+
+
+def test_leakage_ordering_matches_corner_definitions():
+    # TFF is the high-leakage corner, TSS the low-leakage one.
+    assert CORNER_PARAMS[ProcessCorner.TFF].leakage_fraction > \
+        CORNER_PARAMS[ProcessCorner.TTT].leakage_fraction > \
+        CORNER_PARAMS[ProcessCorner.TSS].leakage_fraction
+
+
+def test_corner_params_validation():
+    with pytest.raises(ValueError):
+        CornerParams(
+            v_crit_mv=800, v_crit_slope_mv_per_ghz=100, droop_scale_mv=80,
+            droop_gamma=1.0, core_offsets_mv=(1.0,) * 8,  # no zero offset
+            leakage_fraction=0.1, leakage_v0_mv=50,
+        )
+    with pytest.raises(ValueError):
+        CornerParams(
+            v_crit_mv=800, v_crit_slope_mv_per_ghz=100, droop_scale_mv=80,
+            droop_gamma=1.0, core_offsets_mv=(0.0,) * 4,  # wrong core count
+            leakage_fraction=0.1, leakage_v0_mv=50,
+        )
+
+
+def test_nominal_voltage_matches_paper():
+    assert NOMINAL_PMD_MV == 980.0

@@ -1,0 +1,65 @@
+"""EM-guided dI/dt virus search (the Figure 6/7 stimulus)."""
+
+import pytest
+
+from repro.pdn.rlc import PdnModel
+from repro.viruses.didt import DidtSearch, evolve_didt_virus
+from repro.viruses.genetic import GaConfig
+
+
+def test_evolved_virus_reaches_full_swing(evolved_virus):
+    """GA + polish must land on (or at) the resonant square wave."""
+    assert evolved_virus.resonant_swing > 0.95
+
+
+def test_evolved_virus_positive_metrics(evolved_virus):
+    assert evolved_virus.em_amplitude > 0.0
+    assert evolved_virus.droop_mv > 0.0
+    assert evolved_virus.evaluations > 0
+
+
+def test_virus_alternates_hot_and_cold_instructions(evolved_virus):
+    """The canonical dI/dt shape: high- and low-power bursts."""
+    currents = [  # mean current of each instruction
+        __import__("repro.cpu.isa", fromlist=["spec_of"]).spec_of(k).current
+        for k in evolved_virus.loop
+    ]
+    assert max(currents) > 0.8
+    assert min(currents) < 0.3
+
+
+def test_virus_period_matches_resonance(evolved_virus):
+    """One loop traversal ~ one PDN resonance period (48 cycles)."""
+    res_cycles = 2.4e9 / PdnModel().params.resonant_freq_hz
+    assert evolved_virus.loop.total_cycles == pytest.approx(res_cycles, rel=0.35)
+
+
+def test_search_deterministic():
+    config = GaConfig(population_size=10, generations=3)
+    a, _ = DidtSearch(config=config, seed=99).run()
+    b, _ = DidtSearch(config=config, seed=99).run()
+    assert a.loop == b.loop
+    assert a.em_amplitude == b.em_amplitude
+
+
+def test_polish_can_be_disabled():
+    config = GaConfig(population_size=10, generations=3)
+    virus, result = DidtSearch(config=config, seed=4).run(polish=False)
+    assert virus.loop == result.best.loop
+
+
+def test_polish_never_hurts():
+    config = GaConfig(population_size=10, generations=3)
+    unpolished, _ = DidtSearch(config=config, seed=4).run(polish=False)
+    polished, _ = DidtSearch(config=config, seed=4).run(polish=True)
+    assert polished.em_amplitude >= unpolished.em_amplitude - 0.02
+
+
+def test_summary_contains_key_numbers(evolved_virus):
+    text = evolved_virus.summary()
+    assert "swing=" in text and "droop=" in text and "em=" in text
+
+
+def test_wrapper_defaults():
+    virus = evolve_didt_virus(seed=5, generations=3, population=10)
+    assert virus.generations >= 3

@@ -1,0 +1,87 @@
+"""DRAM data-pattern benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.dram.errors_model import PatternKind
+from repro.dram.retention import DEFAULT_RETENTION
+from repro.errors import ConfigurationError
+from repro.viruses.dpbench import DataPatternBenchmark, dpbench_suite
+
+
+def test_suite_has_four_patterns_in_paper_order():
+    suite = dpbench_suite()
+    assert [b.kind for b in suite] == [
+        PatternKind.ALL_ZEROS, PatternKind.ALL_ONES,
+        PatternKind.CHECKERBOARD, PatternKind.RANDOM,
+    ]
+
+
+def test_all_zeros_pattern():
+    bench = DataPatternBenchmark(PatternKind.ALL_ZEROS)
+    words = bench.pattern_words(16)
+    assert np.all(words == 0)
+
+
+def test_all_ones_pattern():
+    bench = DataPatternBenchmark(PatternKind.ALL_ONES)
+    words = bench.pattern_words(16)
+    assert np.all(words == np.uint64(0xFFFFFFFFFFFFFFFF))
+
+
+def test_checkerboard_alternates():
+    bench = DataPatternBenchmark(PatternKind.CHECKERBOARD)
+    words = bench.pattern_words(4)
+    assert words[0] == np.uint64(0xAAAAAAAAAAAAAAAA)
+    assert words[1] == np.uint64(0x5555555555555555)
+    assert int(words[0]) ^ int(words[1]) == 0xFFFFFFFFFFFFFFFF
+
+
+def test_random_pattern_deterministic_per_seed():
+    bench = DataPatternBenchmark(PatternKind.RANDOM)
+    a = bench.pattern_words(32, seed=1)
+    b = bench.pattern_words(32, seed=1)
+    c = bench.pattern_words(32, seed=2)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_random_pattern_dense_entropy():
+    bench = DataPatternBenchmark(PatternKind.RANDOM)
+    words = bench.pattern_words(256, seed=1)
+    ones = sum(bin(int(w)).count("1") for w in words)
+    assert ones / (256 * 64) == pytest.approx(0.5, abs=0.03)
+
+
+def test_compare_counts_flipped_bits():
+    bench = DataPatternBenchmark(PatternKind.ALL_ZEROS)
+    written = bench.pattern_words(8)
+    read_back = written.copy()
+    read_back[3] = np.uint64(0b101)
+    assert DataPatternBenchmark.compare(written, read_back) == 2
+
+
+def test_compare_shape_mismatch_rejected():
+    bench = DataPatternBenchmark(PatternKind.ALL_ZEROS)
+    with pytest.raises(ConfigurationError):
+        DataPatternBenchmark.compare(bench.pattern_words(4),
+                                     bench.pattern_words(8))
+
+
+def test_invalid_count_rejected():
+    with pytest.raises(ConfigurationError):
+        DataPatternBenchmark(PatternKind.RANDOM).pattern_words(0)
+
+
+def test_stress_profiles_match_errors_model():
+    for bench in dpbench_suite():
+        profile = bench.stress_profile(DEFAULT_RETENTION)
+        assert 0.0 <= profile.charged_fraction <= 1.0
+        assert profile.coupling >= 1.0
+    random_profile = DataPatternBenchmark(
+        PatternKind.RANDOM).stress_profile(DEFAULT_RETENTION)
+    assert random_profile.coupling == DEFAULT_RETENTION.coupling_random
+
+
+def test_benchmark_names():
+    assert DataPatternBenchmark(PatternKind.RANDOM).name == "dpbench-random"

@@ -1,0 +1,64 @@
+"""DRAM power model and refresh-relaxation savings."""
+
+import pytest
+
+from repro.dram.power import DramPowerModel
+from repro.errors import ConfigurationError
+from repro.units import NOMINAL_REFRESH_S, RELAXED_REFRESH_S
+
+
+@pytest.fixture()
+def model() -> DramPowerModel:
+    return DramPowerModel()
+
+
+def test_refresh_power_inverse_in_trefp(model):
+    nominal = model.refresh_w(NOMINAL_REFRESH_S)
+    relaxed = model.refresh_w(RELAXED_REFRESH_S)
+    assert relaxed == pytest.approx(nominal * NOMINAL_REFRESH_S / RELAXED_REFRESH_S)
+
+
+def test_breakdown_sums_to_total(model):
+    breakdown = model.breakdown(NOMINAL_REFRESH_S, 10.0)
+    assert breakdown.total_w == pytest.approx(
+        breakdown.background_w + breakdown.refresh_w + breakdown.access_w)
+
+
+def test_relaxation_savings_decrease_with_bandwidth(model):
+    savings = [model.relaxation_savings(bw, RELAXED_REFRESH_S)
+               for bw in (0.0, 3.4, 10.0, 33.0)]
+    assert savings == sorted(savings, reverse=True)
+
+
+def test_nw_savings_match_paper(model):
+    # Figure 8b: nw at 3.4 GB/s saves 27.3 %.
+    assert model.relaxation_savings(3.4, RELAXED_REFRESH_S) * 100 == \
+        pytest.approx(27.3, abs=0.3)
+
+
+def test_kmeans_savings_match_paper(model):
+    # Figure 8b: kmeans at 33 GB/s saves 9.4 %.
+    assert model.relaxation_savings(33.0, RELAXED_REFRESH_S) * 100 == \
+        pytest.approx(9.4, abs=0.3)
+
+
+def test_zero_traffic_savings_bounded(model):
+    # Even with no traffic, background power caps the saving well
+    # below 100 %.
+    max_savings = model.relaxation_savings(0.0, RELAXED_REFRESH_S)
+    assert 0.30 < max_savings < 0.40
+
+
+def test_negative_bandwidth_rejected(model):
+    with pytest.raises(ConfigurationError):
+        model.total_w(NOMINAL_REFRESH_S, -1.0)
+
+
+def test_invalid_trefp_rejected(model):
+    with pytest.raises(ConfigurationError):
+        model.refresh_w(0.0)
+
+
+def test_invalid_model_params_rejected():
+    with pytest.raises(ConfigurationError):
+        DramPowerModel(background_w=0.0)

@@ -1,0 +1,115 @@
+"""EM sensor model and the EM-as-droop-proxy property.
+
+The paper's methodology stands on EM amplitude being a faithful proxy
+for voltage noise ("By maximizing EM amplitude, voltage noise is
+maximized as well, which we prove with Vmin testing"). These tests
+quantify that proxy inside our substrate: EM readings must rank stimuli
+the same way droop does, despite receiver noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.execution import ExecutionModel
+from repro.cpu.isa import InstrClass
+from repro.cpu.kernels import InstructionLoop, square_wave_loop
+from repro.errors import ConfigurationError
+from repro.pdn.droop import analyze_loop
+from repro.pdn.em import EmReading, EmSensor
+from repro.pdn.rlc import PdnModel
+
+
+@pytest.fixture()
+def sensor() -> EmSensor:
+    return EmSensor(seed=7)
+
+
+@pytest.fixture()
+def exec_model() -> ExecutionModel:
+    return ExecutionModel(window_cycles=4096)
+
+
+def _loops():
+    res_cycles = int(2.4e9 / PdnModel().params.resonant_freq_hz)
+    return [
+        InstructionLoop.of([InstrClass.INT_ALU] * 16),               # flat
+        square_wave_loop(InstrClass.SIMD, InstrClass.NOP, res_cycles // 8),
+        square_wave_loop(InstrClass.FP_MUL, InstrClass.NOP, res_cycles // 2),
+        square_wave_loop(InstrClass.SIMD, InstrClass.NOP, res_cycles // 2),
+    ]
+
+
+def test_em_amplitude_non_negative(sensor, exec_model):
+    for loop in _loops():
+        reading = sensor.measure(exec_model.profile(loop).waveform, 2.4)
+        assert reading.amplitude >= 0.0
+
+
+def test_resonant_square_wave_reads_highest(sensor, exec_model):
+    readings = [sensor.measure_averaged(exec_model.profile(l).waveform, 2.4,
+                                        repeats=6).amplitude
+                for l in _loops()]
+    assert np.argmax(readings) == 3
+
+
+def test_em_ranks_match_droop_ranks(sensor, exec_model):
+    """The proxy property: EM ordering == droop ordering."""
+    loops = _loops()
+    em = [sensor.measure_averaged(exec_model.profile(l).waveform, 2.4,
+                                  repeats=8).amplitude for l in loops]
+    droop = [analyze_loop(l).droop_v for l in loops]
+    assert np.argsort(em).tolist() == np.argsort(droop).tolist()
+
+
+def test_em_correlates_with_droop_across_random_loops(exec_model):
+    """Across random stimuli, EM amplitude ~ droop with r > 0.95."""
+    rng = np.random.default_rng(3)
+    sensor = EmSensor(seed=3, noise_floor=0.005)
+    classes = list(InstrClass)
+    em, droop = [], []
+    for _ in range(20):
+        body = [classes[int(i)] for i in rng.integers(len(classes), size=48)]
+        loop = InstructionLoop.of(body)
+        em.append(sensor.measure_averaged(
+            exec_model.profile(loop).waveform, 2.4, repeats=4).amplitude)
+        droop.append(analyze_loop(loop).droop_v)
+    r = np.corrcoef(em, droop)[0, 1]
+    assert r > 0.95
+
+
+def test_measurement_noise_present():
+    noisy = EmSensor(seed=11, noise_floor=0.05)
+    model = ExecutionModel(window_cycles=2048)
+    waveform = model.profile(square_wave_loop(InstrClass.SIMD,
+                                              InstrClass.NOP, 24)).waveform
+    reads = {noisy.measure(waveform, 2.4).amplitude for _ in range(5)}
+    assert len(reads) > 1  # distinct reads: real receivers are noisy
+
+
+def test_averaging_reduces_noise():
+    noisy = EmSensor(seed=11, noise_floor=0.05)
+    model = ExecutionModel(window_cycles=2048)
+    waveform = model.profile(square_wave_loop(InstrClass.SIMD,
+                                              InstrClass.NOP, 24)).waveform
+    singles = np.array([noisy.measure(waveform, 2.4).amplitude
+                        for _ in range(32)])
+    averaged = np.array([noisy.measure_averaged(waveform, 2.4, repeats=8).amplitude
+                         for _ in range(32)])
+    assert averaged.std() < singles.std()
+
+
+def test_peak_frequency_near_resonance(sensor, exec_model):
+    loop = square_wave_loop(InstrClass.SIMD, InstrClass.NOP, 24)
+    reading = sensor.measure(exec_model.profile(loop).waveform, 2.4)
+    f_res = PdnModel().params.resonant_freq_hz
+    assert abs(reading.peak_freq_hz - f_res) < f_res * 0.5
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigurationError):
+        EmSensor(bandwidth_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        EmReading(amplitude=-1.0, peak_freq_hz=1.0)
+    sensor = EmSensor(seed=1)
+    with pytest.raises(ConfigurationError):
+        sensor.measure_averaged(np.ones(128), 2.4, repeats=0)

@@ -1,0 +1,64 @@
+"""Integration: the end-to-end Jammer exploitation pipeline (Figure 9)."""
+
+import pytest
+
+from repro.experiments.fig9_jammer import (
+    PAPER_DOMAIN_SAVINGS_PCT,
+    PAPER_TOTAL_NOMINAL_W,
+    PAPER_TOTAL_SCALED_W,
+    run_figure9,
+)
+
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_figure9(seed=SEED, repetitions=5)
+
+
+@pytest.fixture(scope="module")
+def fig9_published():
+    """Same pipeline but programming the paper's published point."""
+    return run_figure9(seed=SEED, characterize=False)
+
+
+def test_derived_point_matches_paper(fig9):
+    assert fig9.point.pmd_mv == 930.0
+    assert fig9.point.soc_mv == 920.0
+    assert fig9.point.trefp_s == pytest.approx(2.283)
+
+
+def test_total_power_shape(fig9):
+    assert fig9.power.total_nominal_w == pytest.approx(PAPER_TOTAL_NOMINAL_W, abs=0.3)
+    assert fig9.power.total_scaled_w == pytest.approx(PAPER_TOTAL_SCALED_W, abs=0.5)
+    assert fig9.power.total_savings_pct == pytest.approx(20.2, abs=1.0)
+
+
+def test_domain_savings_shape(fig9):
+    for domain, target in PAPER_DOMAIN_SAVINGS_PCT.items():
+        assert fig9.power.domain_savings_pct(domain) == \
+            pytest.approx(target, abs=1.5), domain
+
+
+def test_dram_largest_relative_savings(fig9):
+    """The paper: DRAM saves the most (33.3 %), SoC the least (6.9 %)."""
+    savings = {d: fig9.power.domain_savings_pct(d) for d in ("PMD", "SoC", "DRAM")}
+    assert max(savings, key=savings.get) == "DRAM"
+    assert min(savings, key=savings.get) == "SoC"
+
+
+def test_qos_maintained(fig9):
+    assert fig9.qos_met
+    assert fig9.detection.detection_rate == 1.0
+
+
+def test_published_point_agrees_with_derived(fig9, fig9_published):
+    assert fig9_published.point.pmd_mv == fig9.point.pmd_mv
+    assert fig9_published.power.total_scaled_w == \
+        pytest.approx(fig9.power.total_scaled_w, abs=0.01)
+
+
+def test_format_renders(fig9):
+    text = fig9.format()
+    assert "930" in text and "QoS" in text

@@ -1,0 +1,33 @@
+"""Shared experiment plumbing."""
+
+import pytest
+
+from repro.experiments.common import format_table, reference_executors, vmin_searches
+from repro.soc.corners import ProcessCorner
+
+
+def test_format_table_alignment():
+    text = format_table(("name", "value"), [("a", 1), ("longer", 22)])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "name" in lines[0] and "---" in lines[1]
+
+
+def test_format_table_float_rendering():
+    text = format_table(("x",), [(1.23456,)])
+    assert "1.235" in text
+
+
+def test_reference_executors_cover_corners():
+    executors = reference_executors(seed=1)
+    assert set(executors) == set(ProcessCorner)
+    for corner, executor in executors.items():
+        assert executor.chip.corner is corner
+
+
+def test_vmin_searches_configured():
+    searches = vmin_searches(seed=1, repetitions=7, step_mv=10.0)
+    for search in searches.values():
+        assert search.repetitions == 7
+        assert search.step_mv == 10.0

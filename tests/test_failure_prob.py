@@ -1,0 +1,129 @@
+"""Droop-history failure-probability model (paper Sec. IV.D sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.core.failure_prob import (
+    DroopHistory,
+    FailureProbabilityModel,
+    GumbelFit,
+    idle_vmin_mv,
+)
+from repro.errors import SearchError
+from repro.rand import make_rng
+
+
+def test_idle_vmin_is_zero_noise_vmin(ttt_chip):
+    core = ttt_chip.strongest_core()
+    assert idle_vmin_mv(ttt_chip, core) == ttt_chip.vmin_mv(core, 0.0)
+    # Idle Vmin sits below any loaded Vmin.
+    assert idle_vmin_mv(ttt_chip, core) < ttt_chip.vmin_mv(core, 0.5)
+
+
+def test_history_records_and_caps():
+    history = DroopHistory(capacity=5)
+    for i in range(10):
+        history.record(float(i))
+    assert history.count == 5
+    assert history.maxima_mv() == [5.0, 6.0, 7.0, 8.0, 9.0]
+
+
+def test_history_rejects_negative():
+    with pytest.raises(SearchError):
+        DroopHistory().record(-1.0)
+    with pytest.raises(SearchError):
+        DroopHistory(capacity=0)
+
+
+def test_history_from_workload_scatters_around_base(ttt_chip):
+    history = DroopHistory()
+    rng = make_rng(2)
+    history.record_workload(ttt_chip, swing=0.5, epochs=200, rng=rng)
+    base = ttt_chip.droop_mv(0.5)
+    maxima = np.array(history.maxima_mv())
+    assert abs(maxima.mean() - base) < 3.0
+    assert maxima.std() > 0.5
+
+
+def test_gumbel_fit_recovers_parameters():
+    rng = make_rng(3)
+    mu, beta = 40.0, 2.5
+    history = DroopHistory()
+    for sample in rng.gumbel(mu, beta, size=2000):
+        history.record(max(0.0, float(sample)))
+    model = FailureProbabilityModel(intrinsic_vmin_mv=850.0)
+    fit = model.fit_history(history)
+    assert fit.mu_mv == pytest.approx(mu, abs=0.5)
+    assert fit.beta_mv == pytest.approx(beta, abs=0.4)
+
+
+def test_exceedance_monotone():
+    fit = GumbelFit(mu_mv=40.0, beta_mv=2.0, samples=100)
+    probs = [fit.exceedance(t) for t in (30.0, 40.0, 50.0, 60.0)]
+    assert probs == sorted(probs, reverse=True)
+    assert 0.0 <= probs[-1] <= probs[0] <= 1.0
+
+
+def test_failure_probability_below_vmin_is_certain():
+    model = FailureProbabilityModel(intrinsic_vmin_mv=850.0)
+    history = DroopHistory()
+    rng = make_rng(4)
+    for s in rng.gumbel(40.0, 2.0, size=200):
+        history.record(max(0.0, float(s)))
+    model.fit_history(history)
+    assert model.failure_probability(850.0) == 1.0
+    assert model.failure_probability(840.0) == 1.0
+
+
+def test_failure_probability_grows_with_epochs():
+    model = FailureProbabilityModel(intrinsic_vmin_mv=850.0)
+    history = DroopHistory()
+    rng = make_rng(5)
+    for s in rng.gumbel(40.0, 2.0, size=200):
+        history.record(max(0.0, float(s)))
+    model.fit_history(history)
+    voltage = 850.0 + 48.0
+    single = model.failure_probability(voltage, epochs=1)
+    many = model.failure_probability(voltage, epochs=100)
+    assert 0.0 < single < many <= 1.0
+
+
+def test_voltage_for_budget_brackets():
+    model = FailureProbabilityModel(intrinsic_vmin_mv=850.0)
+    history = DroopHistory()
+    rng = make_rng(6)
+    for s in rng.gumbel(40.0, 2.0, size=500):
+        history.record(max(0.0, float(s)))
+    model.fit_history(history)
+    budget = 1e-3
+    voltage = model.voltage_for_budget(budget)
+    assert model.failure_probability(voltage) <= budget
+    assert model.failure_probability(voltage - 2.0) > budget
+
+
+def test_unfitted_model_rejects_queries():
+    model = FailureProbabilityModel(intrinsic_vmin_mv=850.0)
+    assert not model.fitted
+    with pytest.raises(SearchError):
+        model.failure_probability(900.0)
+
+
+def test_fit_requires_samples():
+    model = FailureProbabilityModel(intrinsic_vmin_mv=850.0)
+    history = DroopHistory()
+    history.record(10.0)
+    with pytest.raises(SearchError):
+        model.fit_history(history)
+
+
+def test_invalid_budget_rejected():
+    model = FailureProbabilityModel(intrinsic_vmin_mv=850.0)
+    history = DroopHistory()
+    rng = make_rng(7)
+    for s in rng.gumbel(40.0, 2.0, size=100):
+        history.record(max(0.0, float(s)))
+    model.fit_history(history)
+    with pytest.raises(SearchError):
+        model.voltage_for_budget(0.0)
+    with pytest.raises(SearchError):
+        model.failure_probability(900.0, epochs=0)

@@ -1,0 +1,89 @@
+"""The Figure-2 framework facade across a fleet of parts."""
+
+import pytest
+
+from repro.core.framework import CharacterizationFramework
+from repro.errors import CampaignError
+from repro.soc.xgene2 import build_reference_chips
+from repro.workloads.spec import spec_workload
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return list(build_reference_chips(seed=1).values())
+
+
+@pytest.fixture(scope="module")
+def completed(fleet):
+    framework = CharacterizationFramework(fleet, repetitions=3, seed=1)
+    framework.declare_workloads([spec_workload("mcf"), spec_workload("milc")])
+    framework.declare_virus(spec_workload("bwaves"))  # any stimulus works here
+    framework.run()
+    return framework
+
+
+def test_study_per_chip(completed, fleet):
+    assert set(completed.studies) == {chip.serial for chip in fleet}
+
+
+def test_reports_available_after_run(completed):
+    reports = completed.reports()
+    assert len(reports) == 3
+    for serial, report in reports.items():
+        assert report.chip_serial == serial
+        assert len(report.per_workload) == 2
+        assert report.virus_margin_mv is not None
+
+
+def test_vmin_table_layout(completed):
+    table = completed.vmin_table()
+    for serial, per_workload in table.items():
+        assert set(per_workload) == {"mcf", "milc"}
+        assert per_workload["mcf"] < per_workload["milc"]
+
+
+def test_merged_csv_has_chip_column(completed):
+    text = completed.merged_csv_text()
+    header, first = text.splitlines()[:2]
+    assert header.startswith("chip,run_id,")
+    assert first.split(",")[0].endswith("-ref")
+    # All three parts contribute rows.
+    chips_seen = {line.split(",")[0] for line in text.splitlines()[1:] if line}
+    assert len(chips_seen) == 3
+
+
+def test_corner_ordering_visible_in_results(completed):
+    """TSS (slow corner) needs more voltage than TTT for the same work."""
+    table = completed.vmin_table()
+    assert table["TSS-ref"]["milc"] > table["TTT-ref"]["milc"]
+
+
+def test_outputs_before_run_rejected(fleet):
+    framework = CharacterizationFramework(fleet, seed=1)
+    with pytest.raises(CampaignError):
+        framework.reports()
+    with pytest.raises(CampaignError):
+        framework.merged_csv_text()
+
+
+def test_run_without_workloads_rejected(fleet):
+    framework = CharacterizationFramework(fleet, seed=1)
+    with pytest.raises(CampaignError):
+        framework.characterize_chip(fleet[0])
+
+
+def test_duplicate_serials_rejected(fleet):
+    with pytest.raises(CampaignError):
+        CharacterizationFramework([fleet[0], fleet[0]])
+
+
+def test_empty_fleet_rejected():
+    with pytest.raises(CampaignError):
+        CharacterizationFramework([])
+
+
+def test_duplicate_workloads_rejected(fleet):
+    framework = CharacterizationFramework(fleet, seed=1)
+    with pytest.raises(CampaignError):
+        framework.declare_workloads([spec_workload("mcf"),
+                                     spec_workload("mcf")])

@@ -1,0 +1,101 @@
+"""Online voltage governor."""
+
+import pytest
+
+from repro.core.governor import VoltageGovernor
+from repro.core.predictor import VminPredictor
+from repro.errors import SearchError
+from repro.soc.corners import NOMINAL_PMD_MV
+from repro.workloads.spec import spec_suite, spec_workload
+
+
+@pytest.fixture()
+def trained_predictor(ttt_chip) -> VminPredictor:
+    suite = spec_suite()
+    core = ttt_chip.weakest_cores(1)[0]
+    predictor = VminPredictor()
+    predictor.fit(suite, [ttt_chip.vmin_mv(core, w.resonant_swing)
+                          for w in suite])
+    return predictor
+
+
+@pytest.fixture()
+def governor(ttt_chip, trained_predictor) -> VoltageGovernor:
+    return VoltageGovernor(ttt_chip, trained_predictor, seed=3)
+
+
+def test_governor_requires_trained_predictor(ttt_chip):
+    with pytest.raises(SearchError):
+        VoltageGovernor(ttt_chip, VminPredictor())
+
+
+def test_selected_voltage_above_true_vmin(governor, ttt_chip):
+    for workload in spec_suite():
+        voltage = governor.select_voltage_mv(workload)
+        true_vmin = ttt_chip.vmin_mv(governor.core, workload.resonant_swing)
+        assert voltage >= true_vmin
+
+
+def test_selected_voltage_snapped_and_bounded(governor):
+    voltage = governor.select_voltage_mv(spec_workload("milc"))
+    assert voltage % governor.step_mv == pytest.approx(0.0)
+    assert governor.floor_mv <= voltage <= NOMINAL_PMD_MV
+
+
+def test_schedule_runs_safe_with_savings(governor):
+    schedule = spec_suite() * 10  # 100 quanta
+    report = governor.run_schedule(schedule)
+    assert report.unsafe_quanta == 0
+    assert report.min_margin_mv >= 0.0
+    # The governor must recover a meaningful share of the guardband.
+    assert report.mean_power_savings_pct > 5.0
+    assert report.mean_voltage_mv < NOMINAL_PMD_MV - 30.0
+
+
+def test_droop_history_feeds_failure_models(governor):
+    governor.run_schedule(spec_suite() * 16)  # 16 epochs per workload
+    for workload in spec_suite():
+        assert governor._model_for(workload.name).fitted, workload.name
+        assert governor._history_for(workload.name).count >= 16
+
+
+def test_backoff_raises_voltage(ttt_chip, trained_predictor):
+    governor = VoltageGovernor(ttt_chip, trained_predictor, seed=3,
+                               safety_margin_mv=5.0)
+    workload = spec_workload("milc")
+    before = governor.select_voltage_mv(workload)
+    governor._backoff_mv = 10.0  # simulate a prior unsafe quantum
+    after = governor.select_voltage_mv(workload)
+    assert after >= before + 10.0
+
+
+def test_backoff_triggered_by_unsafe_quantum(ttt_chip, trained_predictor):
+    """Force an unsafe outcome via a workload the predictor never saw
+    whose swing exceeds the training range."""
+    from repro.workloads.base import CpuWorkload, Workload
+    hog = Workload(CpuWorkload(
+        name="pathological", suite="synthetic", resonant_swing=0.95,
+        ipc=1.2, fp_ratio=0.5, mem_ratio=0.3, branch_ratio=0.05,
+        l2_miss_ratio=0.1))
+    governor = VoltageGovernor(ttt_chip, trained_predictor, seed=3)
+    record = governor.run_quantum(hog)
+    if not record.outcome.is_safe:
+        assert governor.report.backoffs == 1
+        assert governor._backoff_mv > 0.0
+    else:  # predictor extrapolated high enough -- also acceptable
+        assert record.margin_mv >= 0.0
+
+
+def test_empty_schedule_rejected(governor):
+    with pytest.raises(SearchError):
+        governor.run_schedule([])
+
+
+def test_report_statistics(governor):
+    governor.run_schedule(spec_suite())
+    report = governor.report
+    assert len(report.quanta) == 10
+    assert report.mean_voltage_mv > 0
+    for record in report.quanta:
+        assert record.margin_mv == pytest.approx(
+            record.programmed_mv - record.true_vmin_mv)

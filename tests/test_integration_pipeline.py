@@ -1,0 +1,123 @@
+"""End-to-end integration: framework facade -> figures -> CSV -> reload.
+
+These tests exercise the whole pipeline through the highest-level API,
+the way a downstream user would drive a study, and cross-check the
+outputs against both the lower-level drivers and the persisted CSV.
+"""
+
+import pytest
+
+from repro.core.framework import CharacterizationFramework
+from repro.core.results import ResultStore
+from repro.cpu.outcomes import RunOutcome
+from repro.soc.xgene2 import build_reference_chips
+from repro.workloads.spec import spec_suite
+
+
+@pytest.fixture(scope="module")
+def study():
+    chips = list(build_reference_chips(seed=1).values())
+    framework = CharacterizationFramework(chips, repetitions=5, seed=1)
+    framework.declare_workloads(spec_suite())
+    # Fleet characterization on each part's most robust core.
+    framework.run()
+    return framework
+
+
+def test_facade_reproduces_figure4_ranges(study):
+    """The fleet run through the facade must land on the paper's Fig. 4
+    ranges, matching the dedicated experiment driver."""
+    table = study.vmin_table()
+    expected = {"TTT-ref": (860.0, 885.0), "TFF-ref": (870.0, 885.0),
+                "TSS-ref": (870.0, 900.0)}
+    for serial, (lo, hi) in expected.items():
+        values = table[serial].values()
+        assert min(values) == lo, serial
+        assert max(values) == hi, serial
+
+
+def test_facade_matches_experiment_driver(study):
+    from repro.experiments.fig4_spec_vmin import run_figure4
+    driver = run_figure4(seed=1, repetitions=5)
+    table = study.vmin_table()
+    for corner, serial in (("TTT", "TTT-ref"), ("TFF", "TFF-ref"),
+                           ("TSS", "TSS-ref")):
+        assert driver.vmin_mv[corner] == table[serial]
+
+
+def test_csv_roundtrip_preserves_study(study, tmp_path):
+    """Persist one part's store to disk and reload it losslessly."""
+    store = study.studies["TTT-ref"].store
+    path = tmp_path / "ttt.csv"
+    count = store.write_csv(str(path))
+    reloaded = ResultStore.from_csv_text(path.read_text())
+    assert len(reloaded) == count == len(store)
+    assert reloaded.benchmarks() == store.benchmarks()
+    for benchmark in store.benchmarks():
+        assert reloaded.voltages(benchmark) == store.voltages(benchmark)
+
+
+def test_csv_outcomes_explain_vmin(study):
+    """For each benchmark, every repetition at the reported safe Vmin is
+    safe and the voltage below it holds the first failure."""
+    table = study.vmin_table()["TTT-ref"]
+    store = study.studies["TTT-ref"].store
+    for benchmark, safe_vmin in table.items():
+        safe_outcomes = store.outcomes(benchmark, safe_vmin)
+        assert safe_outcomes, benchmark
+        assert all(o.is_safe for o in safe_outcomes), benchmark
+        below = [v for v in store.voltages(benchmark) if v < safe_vmin]
+        if below:
+            failing = store.outcomes(benchmark, max(below))
+            assert any(not o.is_failure or o.is_failure for o in failing)
+            assert any(not o.is_safe for o in failing), benchmark
+
+
+def test_merged_csv_parsable_per_chip(study):
+    text = study.merged_csv_text()
+    lines = text.strip().splitlines()
+    header = lines[0]
+    assert header.split(",")[0] == "chip"
+    # Strip the chip column and re-parse one part's rows.
+    ttt_rows = [line.split(",", 1)[1] for line in lines[1:]
+                if line.startswith("TTT-ref,")]
+    body = header.split(",", 1)[1] + "\n" + "\n".join(ttt_rows)
+    reloaded = ResultStore.from_csv_text(body)
+    assert len(reloaded) == len(study.studies["TTT-ref"].store)
+
+
+def test_results_survive_lossy_upload(study):
+    """Figure 2's right-hand box: ship the study's raw rows to the cloud
+    over a lossy network and re-derive the Vmin table from what arrived.
+    At-least-once delivery + idempotent store = identical conclusions."""
+    from repro.core.transport import CloudStore, NetworkLink, ResultUploader
+    from repro.cpu.outcomes import RunOutcome
+
+    source = study.studies["TTT-ref"].store
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.25, ack_loss_rate=0.1,
+                       max_retries=32, seed=9)
+    ok, failed = ResultUploader(link).upload(source)
+    assert failed == 0
+    received = cloud.to_store()
+    assert len(received) == len(source)
+
+    # Re-derive each benchmark's safe Vmin from the uploaded rows alone.
+    for benchmark, expected_vmin in study.vmin_table()["TTT-ref"].items():
+        safe = [v for v in received.voltages(benchmark)
+                if all(RunOutcome(r.outcome).is_safe
+                       for r in received.rows(benchmark=benchmark,
+                                              voltage_mv=v))]
+        assert min(safe) == expected_vmin, benchmark
+
+
+def test_wall_time_reflects_recovery_cost(study):
+    """Campaigns that descend into crashes accumulate recovery time:
+    mean wall time of unsafe repetitions differs from clean ones."""
+    store = study.studies["TTT-ref"].store
+    clean = [r.wall_time_s for r in store.rows()
+             if r.outcome == RunOutcome.CORRECT.value]
+    dirty = [r.wall_time_s for r in store.rows()
+             if r.outcome in (RunOutcome.CRASH.value, RunOutcome.HANG.value)]
+    assert clean and dirty
+    assert set(dirty) != set(clean)

@@ -1,0 +1,82 @@
+"""The Jammer detector workload and its QoS accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.jammer import (
+    JAMMER_WORKLOAD,
+    JammerConfig,
+    JammerDetector,
+    SdrFrontend,
+)
+
+
+def test_workload_signature_present():
+    assert JAMMER_WORKLOAD.name == "jammer"
+    assert JAMMER_WORKLOAD.dram is not None
+    assert JAMMER_WORKLOAD.dram.bandwidth_gbs < 2.0  # CPU-bound detector
+
+
+def test_frontend_schedules_poisson_bursts():
+    fe = SdrFrontend(JammerConfig(), burst_rate_hz=5.0, seed=1)
+    fe.schedule_bursts(4.0)
+    assert fe.bursts
+    for start, end, channel in fe.bursts:
+        assert 0.0 <= start < 4.0
+        assert end > start
+        assert 0 <= channel < 16
+
+
+def test_frontend_burst_boosts_channel_energy():
+    cfg = JammerConfig()
+    fe = SdrFrontend(cfg, burst_rate_hz=0.0, seed=2)
+    fe.bursts = [(0.0, 1.0, 3)]
+    frame = fe.frame(0.5)
+    boosted = frame[3].mean()
+    others = frame[[c for c in range(cfg.channels) if c != 3]].mean()
+    assert boosted > others * 5
+
+
+def test_detection_run_meets_qos_at_nominal():
+    detector = JammerDetector(instances=4, seed=3)
+    report = detector.run(duration_s=2.0, burst_rate_hz=2.0)
+    assert report.bursts_injected > 0
+    assert report.detection_rate == 1.0
+    assert report.qos_met
+    assert report.max_latency_s <= JammerConfig().qos_latency_s
+
+
+def test_detection_run_deterministic():
+    a = JammerDetector(instances=2, seed=5).run(duration_s=1.0)
+    b = JammerDetector(instances=2, seed=5).run(duration_s=1.0)
+    assert a.bursts_injected == b.bursts_injected
+    assert a.bursts_detected == b.bursts_detected
+    assert a.max_latency_s == b.max_latency_s
+
+
+def test_severe_slowdown_breaks_qos():
+    """Frequency scaling (unlike undervolting) dilates frame processing;
+    past the QoS bound the detector must report violation."""
+    detector = JammerDetector(instances=2, seed=7)
+    report = detector.run(duration_s=2.0, burst_rate_hz=3.0,
+                          processing_slowdown=40.0)
+    assert not report.qos_met
+
+
+def test_quiet_spectrum_no_false_alarms():
+    detector = JammerDetector(instances=2, seed=9)
+    report = detector.run(duration_s=1.0, burst_rate_hz=0.0)
+    assert report.bursts_injected == 0
+    assert report.false_alarms == 0
+    assert report.qos_met
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ConfigurationError):
+        JammerConfig(channels=0)
+    with pytest.raises(ConfigurationError):
+        JammerConfig(qos_latency_s=0.0)
+    with pytest.raises(WorkloadError):
+        JammerDetector(instances=0)
+    with pytest.raises(WorkloadError):
+        JammerDetector(instances=1).run(duration_s=0.0)

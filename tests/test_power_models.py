@@ -1,0 +1,84 @@
+"""Domain power models and the Figure 5 / Figure 9 scaling arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.corners import CORNER_PARAMS, ProcessCorner
+from repro.soc.power import CorePowerModel, multicore_relative_power
+
+
+def make_model(leak=0.0, watts=1.0) -> CorePowerModel:
+    return CorePowerModel(nominal_mv=980.0, nominal_ghz=2.4,
+                          leakage_fraction=leak, leakage_v0_mv=50.0,
+                          nominal_watts=watts)
+
+
+def test_nominal_point_is_unity():
+    assert make_model().relative_power(980.0, 2.4) == pytest.approx(1.0)
+
+
+def test_pure_dynamic_v_squared_scaling():
+    model = make_model()
+    # Figure 5 label: 915 mV at full frequency = 87.2 % power.
+    assert model.relative_power(915.0) == pytest.approx(0.872, abs=0.001)
+
+
+def test_dynamic_frequency_scaling():
+    model = make_model()
+    assert model.relative_power(980.0, 1.2) == pytest.approx(0.5)
+
+
+def test_leakage_reduces_faster_than_v_squared():
+    leaky = CorePowerModel(nominal_mv=980.0, nominal_ghz=2.4,
+                           leakage_fraction=0.2, leakage_v0_mv=50.0)
+    # Figure 9: TTT PMD at 930 mV saves ~21 % (vs ~10 % dynamic-only).
+    assert 1.0 - leaky.relative_power(930.0) == pytest.approx(0.21, abs=0.01)
+
+
+def test_utilisation_scales_only_dynamic():
+    leaky = CorePowerModel(nominal_mv=980.0, nominal_ghz=2.4,
+                           leakage_fraction=0.3, leakage_v0_mv=50.0)
+    idle = leaky.relative_power(980.0, utilisation=0.0)
+    assert idle == pytest.approx(0.3)  # an idle domain still leaks
+
+
+def test_watts_scales_by_nominal():
+    model = make_model(watts=15.5)
+    assert model.watts(980.0) == pytest.approx(15.5)
+
+
+def test_invalid_utilisation_rejected():
+    with pytest.raises(ConfigurationError):
+        make_model().relative_power(980.0, utilisation=1.5)
+
+
+def test_for_corner_uses_leakage_params():
+    params = CORNER_PARAMS[ProcessCorner.TFF]
+    model = CorePowerModel.for_corner(params, 980.0, 2.4)
+    assert model.leakage_fraction == params.leakage_fraction
+
+
+def test_multicore_mixed_frequency_power():
+    model = make_model()
+    # Figure 5 rung: 1 PMD (2 cores) at 1.2 GHz, rail 900 mV -> 73.8 %.
+    freqs = [1.2, 1.2] + [2.4] * 6
+    rel = multicore_relative_power(freqs, 900.0, model)
+    assert rel == pytest.approx(0.738, abs=0.001)
+
+
+def test_multicore_all_slow_at_760():
+    model = make_model()
+    freqs = [1.2] * 8
+    rel = multicore_relative_power(freqs, 760.0, model)
+    assert rel == pytest.approx(0.301, abs=0.001)
+
+
+def test_multicore_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        multicore_relative_power([], 900.0, make_model())
+
+
+def test_invalid_leakage_fraction_rejected():
+    with pytest.raises(ConfigurationError):
+        CorePowerModel(nominal_mv=980.0, nominal_ghz=2.4,
+                       leakage_fraction=1.0, leakage_v0_mv=50.0)

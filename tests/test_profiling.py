@@ -1,0 +1,74 @@
+"""Multi-round VRT-aware retention profiling."""
+
+import pytest
+
+from repro.dram.cells import WeakCellMap
+from repro.dram.geometry import BankAddress
+from repro.dram.profiling import profile_bank
+from repro.errors import ConfigurationError
+from repro.units import RELAXED_REFRESH_S
+
+
+@pytest.fixture(scope="module")
+def weak_map() -> WeakCellMap:
+    return WeakCellMap(BankAddress(1, 2), seed=11)
+
+
+@pytest.fixture(scope="module")
+def campaign(weak_map):
+    return profile_bank(weak_map, RELAXED_REFRESH_S, 60.0, rounds=12, seed=11)
+
+
+def test_cumulative_curve_monotone(campaign):
+    cumulative = [r.cumulative_unique for r in campaign.rounds]
+    assert cumulative == sorted(cumulative)
+
+
+def test_every_round_sees_stable_population(campaign):
+    for record in campaign.rounds:
+        assert record.failing_locations >= campaign.stable_population
+
+
+def test_union_bounded_by_total_population(campaign):
+    assert campaign.total_unique <= \
+        campaign.stable_population + campaign.vrt_population
+
+
+def test_single_round_misses_vrt_cells(campaign):
+    """The profiling hazard: one pass under-counts when VRT is present."""
+    if campaign.vrt_population == 0:
+        pytest.skip("no VRT cells in this bank's draw")
+    assert campaign.single_round_coverage < 1.0
+    assert campaign.rounds[0].failing_locations < campaign.total_unique
+
+
+def test_campaign_saturates(campaign):
+    """With enough rounds the union stops growing."""
+    assert campaign.total_unique == \
+        campaign.rounds[-1].cumulative_unique
+    # Expected coverage after 12 rounds: 1 - 0.5^12 of VRT cells -- all
+    # but a vanishing fraction, so the last rounds discover nothing new.
+    assert campaign.rounds[-1].new_locations == 0
+
+
+def test_first_round_new_equals_observed(campaign):
+    first = campaign.rounds[0]
+    assert first.new_locations == first.failing_locations
+    assert first.cumulative_unique == first.failing_locations
+
+
+def test_deterministic_given_seed(weak_map):
+    a = profile_bank(weak_map, RELAXED_REFRESH_S, 60.0, rounds=6, seed=5)
+    b = profile_bank(weak_map, RELAXED_REFRESH_S, 60.0, rounds=6, seed=5)
+    assert a.rounds == b.rounds
+
+
+def test_more_rounds_never_fewer_uniques(weak_map):
+    short = profile_bank(weak_map, RELAXED_REFRESH_S, 60.0, rounds=2, seed=5)
+    long = profile_bank(weak_map, RELAXED_REFRESH_S, 60.0, rounds=10, seed=5)
+    assert long.total_unique >= short.total_unique
+
+
+def test_zero_rounds_rejected(weak_map):
+    with pytest.raises(ConfigurationError):
+        profile_bank(weak_map, RELAXED_REFRESH_S, 60.0, rounds=0)

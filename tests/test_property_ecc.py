@@ -1,0 +1,67 @@
+"""Property-based tests of the SECDED code (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.ecc import CODE_BITS, DATA_BITS, DecodeStatus, SecdedCode
+
+CODE = SecdedCode()
+
+data_words = st.integers(min_value=0, max_value=(1 << DATA_BITS) - 1)
+bit_positions = st.integers(min_value=0, max_value=CODE_BITS - 1)
+
+
+@given(data=data_words)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_is_identity(data):
+    result = CODE.decode(CODE.encode(data))
+    assert result.status is DecodeStatus.CLEAN
+    assert result.data == data
+
+
+@given(data=data_words, bit=bit_positions)
+@settings(max_examples=300, deadline=None)
+def test_any_single_flip_is_corrected(data, bit):
+    corrupted = CODE.encode(data) ^ (1 << bit)
+    result = CODE.decode(corrupted)
+    assert result.status is DecodeStatus.CORRECTED
+    assert result.data == data
+
+
+@given(data=data_words,
+       bits=st.lists(bit_positions, min_size=2, max_size=2, unique=True))
+@settings(max_examples=300, deadline=None)
+def test_any_double_flip_is_detected(data, bits):
+    corrupted = CODE.flip_bits(CODE.encode(data), bits)
+    result = CODE.decode(corrupted)
+    assert result.status is DecodeStatus.DETECTED_UNCORRECTABLE
+    # A double error must never silently pass as clean or "corrected to
+    # the right word": decode_with_truth would catch any alias.
+    with_truth = CODE.decode_with_truth(corrupted, data)
+    assert with_truth.status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+
+@given(data=data_words,
+       bits=st.lists(bit_positions, min_size=3, max_size=5, unique=True))
+@settings(max_examples=200, deadline=None)
+def test_multi_flip_never_reported_clean_with_truth(data, bits):
+    corrupted = CODE.flip_bits(CODE.encode(data), bits)
+    result = CODE.decode_with_truth(corrupted, data)
+    if result.status in (DecodeStatus.CLEAN, DecodeStatus.CORRECTED):
+        # Only legitimate if decoding genuinely restored the data --
+        # impossible for >2 flips of a distance-4 code unless flips
+        # cancelled, which unique positions preclude.
+        raise AssertionError("multi-bit error escaped the truth check")
+
+
+@given(a=data_words, b=data_words)
+@settings(max_examples=200, deadline=None)
+def test_linearity_of_encoder(a, b):
+    """Hamming codes are linear: encode(a) ^ encode(b) = encode(a ^ b)
+    up to the overall-parity bit, which is also linear."""
+    assert CODE.encode(a) ^ CODE.encode(b) == CODE.encode(a ^ b)
+
+
+@given(data=data_words)
+@settings(max_examples=100, deadline=None)
+def test_codeword_width(data):
+    assert 0 <= CODE.encode(data) < (1 << CODE_BITS)

@@ -1,0 +1,101 @@
+"""Property-based tests of the power models (hypothesis)."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.dram.power import DramPowerModel
+from repro.soc.power import CorePowerModel, multicore_relative_power
+
+voltages = st.floats(min_value=700.0, max_value=1050.0,
+                     allow_nan=False, allow_infinity=False)
+freqs = st.floats(min_value=0.8, max_value=2.4,
+                  allow_nan=False, allow_infinity=False)
+leaks = st.floats(min_value=0.0, max_value=0.5,
+                  allow_nan=False, allow_infinity=False)
+bandwidths = st.floats(min_value=0.0, max_value=40.0,
+                       allow_nan=False, allow_infinity=False)
+trefps = st.floats(min_value=0.016, max_value=16.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def model(leak: float) -> CorePowerModel:
+    return CorePowerModel(nominal_mv=980.0, nominal_ghz=2.4,
+                          leakage_fraction=leak, leakage_v0_mv=50.0)
+
+
+@given(v1=voltages, v2=voltages, f=freqs, leak=leaks)
+@settings(max_examples=300, deadline=None)
+def test_power_monotone_in_voltage(v1, v2, f, leak):
+    assume(v1 < v2)
+    m = model(leak)
+    assert m.relative_power(v1, f) <= m.relative_power(v2, f)
+
+
+@given(v=voltages, f1=freqs, f2=freqs, leak=leaks)
+@settings(max_examples=300, deadline=None)
+def test_power_monotone_in_frequency(v, f1, f2, leak):
+    assume(f1 < f2)
+    m = model(leak)
+    assert m.relative_power(v, f1) <= m.relative_power(v, f2)
+
+
+@given(v=voltages, f=freqs, leak=leaks,
+       u1=st.floats(min_value=0.0, max_value=1.0),
+       u2=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=300, deadline=None)
+def test_power_monotone_in_utilisation(v, f, leak, u1, u2):
+    assume(u1 < u2)
+    m = model(leak)
+    assert m.relative_power(v, f, u1) <= m.relative_power(v, f, u2)
+
+
+@given(v=voltages, leak=leaks)
+@settings(max_examples=200, deadline=None)
+def test_idle_power_equals_leakage_share(v, leak):
+    m = model(leak)
+    idle = m.relative_power(v, utilisation=0.0)
+    leak_only = m.relative_power(v) - (1.0 - leak) * (v / 980.0) ** 2
+    assert abs(idle - leak_only) < 1e-12
+
+
+@given(v=voltages, leak=leaks,
+       freqs_list=st.lists(freqs, min_size=1, max_size=8))
+@settings(max_examples=300, deadline=None)
+def test_multicore_bounded_by_extremes(v, leak, freqs_list):
+    """Mixed-frequency power lies between all-slowest and all-fastest."""
+    m = model(leak)
+    mixed = multicore_relative_power(freqs_list, v, m)
+    low = multicore_relative_power([min(freqs_list)] * len(freqs_list), v, m)
+    high = multicore_relative_power([max(freqs_list)] * len(freqs_list), v, m)
+    assert low - 1e-12 <= mixed <= high + 1e-12
+
+
+@given(bw=bandwidths, t1=trefps, t2=trefps)
+@settings(max_examples=300, deadline=None)
+def test_dram_power_monotone_in_refresh_rate(bw, t1, t2):
+    assume(t1 < t2)
+    m = DramPowerModel()
+    # Longer TREFP -> fewer refreshes -> less power.
+    assert m.total_w(t2, bw) <= m.total_w(t1, bw)
+
+
+@given(bw1=bandwidths, bw2=bandwidths, t=trefps)
+@settings(max_examples=300, deadline=None)
+def test_dram_savings_monotone_in_bandwidth(bw1, bw2, t):
+    assume(bw1 < bw2)
+    assume(t > DramPowerModel().nominal_trefp_s)
+    m = DramPowerModel()
+    assert m.relaxation_savings(bw2, t) <= m.relaxation_savings(bw1, t)
+
+
+@given(bw=bandwidths, t=trefps)
+@settings(max_examples=300, deadline=None)
+def test_dram_savings_bounded(bw, t):
+    m = DramPowerModel()
+    savings = m.relaxation_savings(bw, t)
+    # Relaxation can never save all the power (background remains), and
+    # a *tightened* refresh only ever costs (negative savings).
+    assert savings < 1.0
+    if t >= m.nominal_trefp_s:
+        assert 0.0 <= savings
+    else:
+        assert savings <= 0.0

@@ -1,0 +1,63 @@
+"""Property-based tests of the Vmin-aware scheduler (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.scheduling import plan_naive, plan_placement
+from repro.soc.chip import Chip
+from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
+from repro.workloads.spec import SPEC_WORKLOADS
+
+_CHIP = Chip(ProcessCorner.TTT, seed=1, jitter_sigma_mv=0.0)
+_NAMES = sorted(SPEC_WORKLOADS)
+
+task_sets = st.lists(st.sampled_from(_NAMES), min_size=1, max_size=8)
+slow_counts = st.integers(min_value=0, max_value=4)
+
+
+def _workloads(names):
+    return [SPEC_WORKLOADS[name] for name in names]
+
+
+@given(names=task_sets, slow=slow_counts)
+@settings(max_examples=200, deadline=None)
+def test_rail_always_covers_binding_vmin(names, slow):
+    plan = plan_placement(_CHIP, _workloads(names), slow_pmd_count=slow)
+    assert plan.rail_mv >= plan.binding_vmin_mv - 1e-9
+    assert plan.rail_mv <= NOMINAL_PMD_MV
+
+
+@given(names=task_sets, slow=slow_counts)
+@settings(max_examples=200, deadline=None)
+def test_aware_never_worse_than_naive(names, slow):
+    workloads = _workloads(names)
+    aware = plan_placement(_CHIP, workloads, slow_pmd_count=slow)
+    naive = plan_naive(_CHIP, workloads, slow_pmd_count=slow)
+    assert aware.rail_mv <= naive.rail_mv + 1e-9
+    assert abs(aware.performance_fraction - naive.performance_fraction) < 1e-9
+
+
+@given(names=task_sets, slow=slow_counts)
+@settings(max_examples=200, deadline=None)
+def test_assignments_on_distinct_cores(names, slow):
+    plan = plan_placement(_CHIP, _workloads(names), slow_pmd_count=slow)
+    cores = plan.occupied_cores()
+    assert len({c.linear for c in cores}) == len(cores) == len(names)
+
+
+@given(names=task_sets)
+@settings(max_examples=150, deadline=None)
+def test_performance_fraction_reflects_slow_pmds(names):
+    workloads = _workloads(names)
+    for slow in range(5):
+        plan = plan_placement(_CHIP, workloads, slow_pmd_count=slow)
+        assert abs(plan.performance_fraction - (1.0 - slow * 0.125)) < 1e-9
+
+
+@given(names=task_sets, slow=slow_counts)
+@settings(max_examples=150, deadline=None)
+def test_more_slow_pmds_never_raise_rail(names, slow):
+    """Downclocking more PMDs can only relax the binding constraint."""
+    workloads = _workloads(names)
+    rails = [plan_placement(_CHIP, workloads, slow_pmd_count=k).rail_mv
+             for k in range(slow + 1)]
+    assert rails == sorted(rails, reverse=True)

@@ -1,0 +1,78 @@
+"""Property-based tests of the simulation kernel and refresh exposure."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.dram.refresh import AccessTrace, RefreshController
+from repro.simkit import Simulator
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0,
+                            allow_nan=False, allow_infinity=False),
+                  min_size=1, max_size=30)
+
+
+@given(schedule=delays)
+@settings(max_examples=200, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(schedule):
+    sim = Simulator()
+    fired = []
+    for delay in schedule:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(schedule)
+
+
+@given(schedule=delays)
+@settings(max_examples=200, deadline=None)
+def test_equal_time_events_keep_insertion_order(schedule):
+    sim = Simulator()
+    order = []
+    fixed = 5.0
+    for index, _ in enumerate(schedule):
+        sim.schedule(fixed, lambda i=index: order.append(i))
+    sim.run()
+    assert order == list(range(len(schedule)))
+
+
+access_times = st.lists(
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=20,
+)
+
+
+@given(times=access_times,
+       trefp=st.floats(min_value=0.1, max_value=5.0,
+                       allow_nan=False, allow_infinity=False),
+       row=st.integers(min_value=0, max_value=65535))
+@settings(max_examples=300, deadline=None)
+def test_exposure_bounded_by_trefp(times, trefp, row):
+    """Scheduled refresh caps exposure regardless of the access pattern."""
+    ctrl = RefreshController(trefp_s=trefp)
+    exposure = ctrl.row_exposure_s(row, tuple(sorted(times)), window_s=10.0)
+    assert 0.0 <= exposure <= trefp + 1e-12
+
+
+@given(times=access_times,
+       trefp=st.floats(min_value=0.1, max_value=5.0,
+                       allow_nan=False, allow_infinity=False),
+       row=st.integers(min_value=0, max_value=65535))
+@settings(max_examples=300, deadline=None)
+def test_more_accesses_never_worsen_exposure(times, trefp, row):
+    ctrl = RefreshController(trefp_s=trefp)
+    base = ctrl.row_exposure_s(row, tuple(sorted(times)), window_s=10.0)
+    denser = tuple(sorted(times + [5.0]))
+    improved = ctrl.row_exposure_s(row, denser, window_s=10.0)
+    assert improved <= base + 1e-12
+
+
+@given(times=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                allow_nan=False, allow_infinity=False),
+                      min_size=2, max_size=20, unique=True))
+@settings(max_examples=200, deadline=None)
+def test_access_interval_coverage_boolean_consistency(times):
+    trace = AccessTrace.from_events(10.0, [(t, 0) for t in times])
+    sorted_times = sorted(times)
+    max_gap = max(b - a for a, b in zip(sorted_times, sorted_times[1:]))
+    covered = RefreshController.access_interval_coverage(trace, target_s=2.0)
+    assert covered == (1.0 if max_gap < 2.0 else 0.0)

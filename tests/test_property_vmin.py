@@ -1,0 +1,78 @@
+"""Property-based tests of the chip Vmin model and Vmin search."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.executor import CampaignExecutor
+from repro.core.vmin import VminSearch
+from repro.soc.chip import Chip
+from repro.soc.corners import CORNER_PARAMS, NOMINAL_PMD_MV, ProcessCorner
+from repro.soc.topology import CoreId
+from repro.workloads.base import CpuWorkload, Workload
+
+swings = st.floats(min_value=0.0, max_value=1.0,
+                   allow_nan=False, allow_infinity=False)
+cores = st.integers(min_value=0, max_value=7)
+corners = st.sampled_from(list(ProcessCorner))
+freqs = st.floats(min_value=1.0, max_value=2.4,
+                  allow_nan=False, allow_infinity=False)
+
+_CHIPS = {corner: Chip(corner, seed=1, jitter_sigma_mv=0.0)
+          for corner in ProcessCorner}
+
+
+@given(corner=corners, core=cores, a=swings, b=swings)
+@settings(max_examples=200, deadline=None)
+def test_vmin_monotone_in_swing(corner, core, a, b):
+    assume(a <= b)
+    chip = _CHIPS[corner]
+    cid = CoreId.from_linear(core)
+    assert chip.vmin_mv(cid, a) <= chip.vmin_mv(cid, b)
+
+
+@given(corner=corners, core=cores, swing=swings, f1=freqs, f2=freqs)
+@settings(max_examples=200, deadline=None)
+def test_vmin_monotone_in_frequency(corner, core, swing, f1, f2):
+    assume(f1 <= f2)
+    chip = _CHIPS[corner]
+    cid = CoreId.from_linear(core)
+    assert chip.vmin_mv(cid, swing, f1) <= chip.vmin_mv(cid, swing, f2)
+
+
+@given(corner=corners, swing=swings)
+@settings(max_examples=100, deadline=None)
+def test_strongest_core_has_lowest_vmin(corner, swing):
+    chip = _CHIPS[corner]
+    strongest = chip.strongest_core()
+    vmins = [chip.vmin_mv(CoreId.from_linear(i), swing) for i in range(8)]
+    assert chip.vmin_mv(strongest, swing) == min(vmins)
+
+
+@given(corner=corners, core=cores, swing=swings)
+@settings(max_examples=150, deadline=None)
+def test_vmin_decomposition_consistent(corner, core, swing):
+    """vmin = v_crit + offset + droop, with each part non-negative-sane."""
+    chip = _CHIPS[corner]
+    cid = CoreId.from_linear(core)
+    model = chip.core_model(cid)
+    droop = chip.droop_mv(swing)
+    assert abs(chip.vmin_mv(cid, swing) - model.vmin_mv(droop)) < 1e-9
+    assert droop >= 0.0
+    assert model.core_offset_mv >= 0.0
+
+
+@given(swing=st.floats(min_value=0.25, max_value=0.62), core=cores)
+@settings(max_examples=25, deadline=None)
+def test_search_never_reports_below_true_vmin(swing, core):
+    """The safety property of the whole search pipeline: the reported
+    safe Vmin is always at or above the chip's true Vmin."""
+    chip = _CHIPS[ProcessCorner.TTT]
+    cid = CoreId.from_linear(core)
+    executor = CampaignExecutor(chip, seed=9)
+    search = VminSearch(executor, repetitions=3)
+    workload = Workload(CpuWorkload(
+        name=f"synthetic-{swing:.3f}", suite="synthetic",
+        resonant_swing=swing, ipc=1.0, fp_ratio=0.2, mem_ratio=0.2,
+        branch_ratio=0.1, l2_miss_ratio=0.05))
+    result = search.search(workload, cores=(cid,))
+    assert result.safe_vmin_mv >= chip.vmin_mv(cid, swing) - 1e-9
+    assert result.safe_vmin_mv <= NOMINAL_PMD_MV

@@ -1,0 +1,53 @@
+"""Deterministic random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.rand import DEFAULT_SEED, make_rng, substream
+
+
+def test_make_rng_accepts_generator_passthrough():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_make_rng_none_is_deterministic():
+    a = make_rng(None).integers(0, 1000, size=10)
+    b = make_rng(None).integers(0, 1000, size=10)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_int_seed_reproducible():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_substream_same_label_same_stream():
+    a = substream(1, "chip").random(8)
+    b = substream(1, "chip").random(8)
+    assert np.array_equal(a, b)
+
+
+def test_substream_different_labels_decorrelated():
+    a = substream(1, "chip").random(8)
+    b = substream(1, "dram").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_substream_different_seeds_differ():
+    a = substream(1, "chip").random(8)
+    b = substream(2, "chip").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_substream_index_distinguishes():
+    a = substream(1, "core", index=0).random(4)
+    b = substream(1, "core", index=1).random(4)
+    assert not np.array_equal(a, b)
+
+
+def test_substream_none_uses_default_seed():
+    a = substream(None, "x").random(4)
+    b = substream(DEFAULT_SEED, "x").random(4)
+    assert np.array_equal(a, b)

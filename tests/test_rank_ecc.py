@@ -1,0 +1,111 @@
+"""Rank-level ECC layout and the strongest all-corrected check."""
+
+import pytest
+
+from repro.dram.cells import DramDevicePopulation
+from repro.dram.errors_model import PatternKind
+from repro.dram.geometry import DEFAULT_GEOMETRY, DramGeometry
+from repro.dram.rank_ecc import (
+    BITS_PER_DEVICE_PER_WORD,
+    RankEccLayout,
+    scrub_board,
+    scrub_rank,
+)
+from repro.errors import ConfigurationError
+from repro.units import RELAXED_REFRESH_S
+
+
+@pytest.fixture(scope="module")
+def layout() -> RankEccLayout:
+    return RankEccLayout(DEFAULT_GEOMETRY)
+
+
+@pytest.fixture(scope="module")
+def population() -> DramDevicePopulation:
+    return DramDevicePopulation(seed=21)
+
+
+def test_layout_requires_nine_x8_devices():
+    bad = DramGeometry(devices_per_rank=8)
+    with pytest.raises(ConfigurationError):
+        RankEccLayout(bad)
+
+
+def test_devices_of_rank_contiguous(layout):
+    devices = layout.devices_of_rank(0, 0)
+    assert devices == list(range(9))
+    devices = layout.devices_of_rank(1, 1)
+    assert devices == list(range(27, 36))
+    assert layout.devices_of_rank(3, 1)[-1] == 71
+
+
+def test_devices_of_rank_validation(layout):
+    with pytest.raises(ConfigurationError):
+        layout.devices_of_rank(4, 0)
+    with pytest.raises(ConfigurationError):
+        layout.devices_of_rank(0, 2)
+
+
+def test_locate_byte_striping(layout):
+    """Device slot s owns bits [8s, 8s+8) of every codeword."""
+    for slot in range(9):
+        coordinate, bit = layout.locate(slot, bank=2, row=100, col=17)
+        assert coordinate.bank == 2 and coordinate.row == 100
+        assert coordinate.word == 17 // BITS_PER_DEVICE_PER_WORD
+        assert bit == slot * 8 + 17 % 8
+        assert 0 <= bit < 72
+
+
+def test_locate_distinct_words_for_distant_cols(layout):
+    a, _ = layout.locate(0, 0, 0, col=0)
+    b, _ = layout.locate(0, 0, 0, col=8)
+    assert a.word != b.word
+
+
+def test_same_device_same_byte_column_collides(layout):
+    """Two bits of one device collide only inside one byte of one row."""
+    word_a, bit_a = layout.locate(3, 0, 5, col=16)
+    word_b, bit_b = layout.locate(3, 0, 5, col=23)
+    assert word_a == word_b
+    assert bit_a != bit_b
+
+
+def test_cross_device_bits_share_words(layout):
+    """Different devices' identical (row, col) map to the same codeword
+    at different bit positions -- the cross-device pairing channel."""
+    word_a, bit_a = layout.locate(0, 0, 5, col=40)
+    word_b, bit_b = layout.locate(7, 0, 5, col=40)
+    assert word_a == word_b
+    assert bit_a != bit_b
+
+
+def test_rank_scrub_at_paper_conditions_all_corrected(population):
+    """The faithful version of the paper's headline: at <= 60 degC and
+    35x refresh, rank-level SECDED corrects every manifested error."""
+    for temp in (50.0, 60.0):
+        result = scrub_rank(population, dimm=0, rank=0,
+                            interval_s=RELAXED_REFRESH_S, temp_c=temp)
+        assert result.all_corrected, temp
+        if temp == 60.0:
+            assert result.raw_bit_errors > 0
+
+
+def test_rank_scrub_pattern_sensitivity(population):
+    random = scrub_rank(population, 0, 0, RELAXED_REFRESH_S, 60.0,
+                        PatternKind.RANDOM)
+    zeros = scrub_rank(population, 0, 0, RELAXED_REFRESH_S, 60.0,
+                       PatternKind.ALL_ZEROS)
+    assert zeros.raw_bit_errors < random.raw_bit_errors
+
+
+def test_board_scrub_merges_all_ranks(population):
+    board = scrub_board(population, RELAXED_REFRESH_S, 60.0)
+    single = scrub_rank(population, 0, 0, RELAXED_REFRESH_S, 60.0)
+    assert board.raw_bit_errors > single.raw_bit_errors
+    assert board.all_corrected  # the whole 72-device board stays clean
+
+
+def test_rank_scrub_deterministic(population):
+    a = scrub_rank(population, 1, 0, RELAXED_REFRESH_S, 60.0)
+    b = scrub_rank(population, 1, 0, RELAXED_REFRESH_S, 60.0)
+    assert a == b

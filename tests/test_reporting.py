@@ -1,0 +1,48 @@
+"""The reproduction-report builder."""
+
+import pytest
+
+from repro.analysis.reporting import ReproductionReport, SectionResult, build_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report(seed=1, fast=True)
+
+
+def test_report_covers_all_experiments(report):
+    names = [section.name for section in report.sections]
+    assert names == ["Figure 4", "Figure 5", "Figure 6", "Figure 7",
+                     "Table I", "Figure 8a", "Figure 8b", "Figure 9",
+                     "Stencil scheduling"]
+
+
+def test_all_shape_checks_pass(report):
+    failing = [s.name for s in report.sections if not s.passed]
+    assert not failing, f"deviating sections: {failing}"
+    assert report.all_passed
+
+
+def test_sections_carry_bodies_and_verdicts(report):
+    for section in report.sections:
+        assert section.body.strip()
+        assert section.verdict.strip()
+        assert section.elapsed_s >= 0.0
+
+
+def test_render_is_complete(report):
+    text = report.render()
+    assert "REPRODUCTION REPORT" in text
+    assert "ALL SHAPE CHECKS PASS" in text
+    for section in report.sections:
+        assert section.name in text
+
+
+def test_render_marks_deviations():
+    report = ReproductionReport(sections=[
+        SectionResult("X", "body", "nope", passed=False, elapsed_s=0.1),
+    ])
+    text = report.render()
+    assert "[DEVIATION] X" in text
+    assert "SOME SHAPE CHECKS DEVIATE" in text
+    assert not report.all_passed

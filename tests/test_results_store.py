@@ -1,0 +1,81 @@
+"""Result store and CSV round-trip."""
+
+import pytest
+
+from repro.core.results import ResultRow, ResultStore, result_fields
+from repro.cpu.outcomes import RunOutcome
+from repro.errors import CampaignError
+
+
+def row(run_id=1, benchmark="mcf", voltage=900.0, rep=0,
+        outcome="correct") -> ResultRow:
+    return ResultRow(run_id=run_id, benchmark=benchmark, suite="spec2006",
+                     voltage_mv=voltage, freq_ghz=2.4, cores="0",
+                     repetition=rep, outcome=outcome, verdict="completed",
+                     corrected_errors=0, uncorrected_errors=0,
+                     wall_time_s=300.0)
+
+
+def test_append_and_len():
+    store = ResultStore()
+    store.append(row())
+    store.extend([row(rep=1), row(rep=2)])
+    assert len(store) == 3
+
+
+def test_filtered_queries():
+    store = ResultStore()
+    store.append(row(benchmark="mcf", voltage=900.0))
+    store.append(row(benchmark="mcf", voltage=890.0))
+    store.append(row(benchmark="gcc", voltage=900.0))
+    assert len(store.rows(benchmark="mcf")) == 2
+    assert len(store.rows(voltage_mv=900.0)) == 2
+    assert len(store.rows(benchmark="mcf", voltage_mv=890.0)) == 1
+    assert len(store.rows(predicate=lambda r: r.repetition == 0)) == 3
+
+
+def test_outcomes_extraction():
+    store = ResultStore()
+    store.append(row(outcome="correct"))
+    store.append(row(outcome="sdc", rep=1))
+    outcomes = store.outcomes("mcf", 900.0)
+    assert outcomes == [RunOutcome.CORRECT, RunOutcome.SDC]
+
+
+def test_benchmarks_and_voltages_sorted():
+    store = ResultStore()
+    store.append(row(benchmark="milc", voltage=880.0))
+    store.append(row(benchmark="gcc", voltage=900.0))
+    store.append(row(benchmark="gcc", voltage=890.0))
+    assert store.benchmarks() == ["gcc", "milc"]
+    assert store.voltages("gcc") == [900.0, 890.0]  # descending
+
+
+def test_csv_roundtrip():
+    store = ResultStore()
+    store.append(row())
+    store.append(row(outcome="crash", rep=1, voltage=880.0))
+    text = store.to_csv_text()
+    parsed = ResultStore.from_csv_text(text)
+    assert len(parsed) == 2
+    assert parsed.rows()[1].outcome == "crash"
+    assert parsed.rows()[1].voltage_mv == 880.0
+
+
+def test_csv_header_schema():
+    text = ResultStore().to_csv_text()
+    header = text.splitlines()[0]
+    assert header.split(",") == result_fields()
+
+
+def test_csv_missing_columns_rejected():
+    with pytest.raises(CampaignError):
+        ResultStore.from_csv_text("a,b,c\n1,2,3\n")
+
+
+def test_write_csv_to_disk(tmp_path):
+    store = ResultStore()
+    store.append(row())
+    path = tmp_path / "results.csv"
+    assert store.write_csv(str(path)) == 1
+    assert path.read_text().startswith("run_id,")

@@ -1,0 +1,97 @@
+"""Vmin-aware task placement and frequency assignment."""
+
+import pytest
+
+from repro.analysis.scheduling import (
+    plan_naive,
+    plan_placement,
+    scheduling_advantage,
+)
+from repro.errors import CampaignError
+from repro.soc.topology import NOMINAL_FREQ_GHZ, REDUCED_FREQ_GHZ
+from repro.workloads.spec import spec_suite, spec_workload
+
+
+@pytest.fixture()
+def four_tasks():
+    return [spec_workload(n) for n in ("milc", "bwaves", "mcf", "gcc")]
+
+
+def test_aware_plan_uses_strongest_cores(ttt_chip, four_tasks):
+    plan = plan_placement(ttt_chip, four_tasks)
+    occupied = plan.occupied_cores()
+    assert len(occupied) == 4
+    # On the reference TTT part, the strongest cores sit on PMD 3 and 2.
+    assert all(core.pmd in (2, 3) for core in occupied)
+
+
+def test_aware_beats_naive_on_partial_load(ttt_chip, four_tasks):
+    aware, naive, advantage = scheduling_advantage(ttt_chip, four_tasks)
+    assert advantage > 0.0
+    assert aware.rail_mv < naive.rail_mv
+    assert aware.relative_power < naive.relative_power
+
+
+def test_full_load_equalizes_core_choice(ttt_chip):
+    """With all 8 cores occupied core choice cannot help (same set)."""
+    suite = spec_suite()[:8]
+    aware = plan_placement(ttt_chip, suite)
+    naive = plan_naive(ttt_chip, suite)
+    assert aware.rail_mv == naive.rail_mv
+
+
+def test_frequency_scaling_downclocks_weakest_pmds(ttt_chip):
+    suite = spec_suite()[:8]
+    plan = plan_placement(ttt_chip, suite, slow_pmd_count=2)
+    # Reference TTT: PMDs 0 and 1 hold the weakest cores.
+    assert plan.pmd_freq_ghz[0] == REDUCED_FREQ_GHZ
+    assert plan.pmd_freq_ghz[1] == REDUCED_FREQ_GHZ
+    assert plan.pmd_freq_ghz[2] == plan.pmd_freq_ghz[3] == NOMINAL_FREQ_GHZ
+    assert plan.performance_fraction == pytest.approx(0.75)
+
+
+def test_aware_frequency_choice_beats_naive(ttt_chip):
+    """Naive downclocking of the *strong* PMDs keeps the weak ones
+    binding the rail at 2.4 GHz -- no voltage unlocked."""
+    suite = spec_suite()[:8]
+    aware = plan_placement(ttt_chip, suite, slow_pmd_count=2)
+    naive = plan_naive(ttt_chip, suite, slow_pmd_count=2)
+    assert aware.rail_mv < naive.rail_mv
+    assert aware.performance_fraction == naive.performance_fraction
+
+
+def test_plan_reproduces_figure5_rung(ttt_chip):
+    """The aware scheduler at 2 slow PMDs lands on the paper's 885 mV."""
+    from repro.workloads.mixes import FIGURE5_BENCHMARKS
+    mix = [spec_workload(n) for n in FIGURE5_BENCHMARKS]
+    plan = plan_placement(ttt_chip, mix, slow_pmd_count=2)
+    assert plan.rail_mv == 885.0
+
+
+def test_rail_safe_for_every_assignment(ttt_chip, four_tasks):
+    plan = plan_placement(ttt_chip, four_tasks, slow_pmd_count=1)
+    assert plan.rail_mv >= plan.binding_vmin_mv
+    swing = sum(w.resonant_swing for w in four_tasks) / 4
+    for _, core in plan.assignments:
+        freq = plan.pmd_freq_ghz[core.pmd]
+        assert plan.rail_mv >= ttt_chip.vmin_mv(core, swing, freq)
+
+
+def test_aggressive_tasks_on_strong_cores(ttt_chip, four_tasks):
+    plan = plan_placement(ttt_chip, four_tasks)
+    by_name = dict(plan.assignments)
+    # milc (highest swing) got the strongest core of the chosen set.
+    milc_offset = ttt_chip.core_offset_mv(by_name["milc"])
+    for name in ("bwaves", "mcf", "gcc"):
+        assert milc_offset <= ttt_chip.core_offset_mv(by_name[name])
+
+
+def test_invalid_inputs_rejected(ttt_chip, four_tasks):
+    with pytest.raises(CampaignError):
+        plan_placement(ttt_chip, [])
+    with pytest.raises(CampaignError):
+        plan_placement(ttt_chip, four_tasks * 3)
+    with pytest.raises(CampaignError):
+        plan_placement(ttt_chip, four_tasks, slow_pmd_count=5)
+    with pytest.raises(CampaignError):
+        plan_naive(ttt_chip, [])

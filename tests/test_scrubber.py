@@ -1,0 +1,97 @@
+"""Patrol scrubbing: pairing pressure and prevention."""
+
+import pytest
+
+from repro.dram.cells import WeakCellMap
+from repro.dram.geometry import BankAddress
+from repro.dram.scrubber import PatrolScrubber, pairup_probability
+from repro.errors import ConfigurationError
+from repro.units import RELAXED_REFRESH_S
+
+
+@pytest.fixture(scope="module")
+def weak_map() -> WeakCellMap:
+    # A hotter profile so the bank carries enough weak bits to pair.
+    return WeakCellMap(BankAddress(2, 3), seed=13,
+                       profile_interval_s=4.0, profile_temp_c=72.0)
+
+
+# ----------------------------------------------------------------------
+# Analytic pair-up probability
+# ----------------------------------------------------------------------
+def test_zero_or_one_bit_cannot_pair():
+    assert pairup_probability(0, 1000) == 0.0
+    assert pairup_probability(1, 1000) == 0.0
+
+
+def test_pairup_grows_with_density():
+    words = 8_388_608  # one bank's 64-bit words
+    probs = [pairup_probability(n, words) for n in (50, 500, 5000, 50000)]
+    assert probs == sorted(probs)
+    assert probs[0] < 1e-3 < probs[-1]
+
+
+def test_scrub_passes_reduce_pairup():
+    base = pairup_probability(5000, 8_388_608, scrub_passes=0)
+    scrubbed = pairup_probability(5000, 8_388_608, scrub_passes=3)
+    assert scrubbed < base
+    # In the *sparse* regime (p << 1) the reduction is ~(passes + 1).
+    sparse_base = pairup_probability(500, 8_388_608, scrub_passes=0)
+    sparse_scrubbed = pairup_probability(500, 8_388_608, scrub_passes=3)
+    assert sparse_scrubbed == pytest.approx(sparse_base / 4.0, rel=0.02)
+
+
+def test_paper_regime_needs_no_scrubbing():
+    """At the paper's 60 degC density (~48 bits/bank) pair-up is rare --
+    the quantitative reason ECC alone sufficed."""
+    assert pairup_probability(48, 8_388_608) < 2e-4
+
+
+def test_pairup_validation():
+    with pytest.raises(ConfigurationError):
+        pairup_probability(10, 0)
+    with pytest.raises(ConfigurationError):
+        pairup_probability(-1, 10)
+    with pytest.raises(ConfigurationError):
+        pairup_probability(10, 10, scrub_passes=-1)
+
+
+# ----------------------------------------------------------------------
+# Simulated patrol campaign
+# ----------------------------------------------------------------------
+def test_campaign_counts_consistent(weak_map):
+    scrubber = PatrolScrubber(weak_map, 4.0, 70.0, passes=1, seed=2)
+    report = scrubber.run(windows=8)
+    assert len(report.windows) == 8
+    for window in report.windows:
+        assert 0 <= window.escalations_prevented <= window.vulnerable_words
+        assert window.weak_bits > 0
+
+
+def test_more_passes_prevent_more(weak_map):
+    light = PatrolScrubber(weak_map, 4.0, 70.0, passes=1, seed=2).run(12)
+    heavy = PatrolScrubber(weak_map, 4.0, 70.0, passes=7, seed=2).run(12)
+    if light.total_vulnerable_words == 0:
+        pytest.skip("draw produced no vulnerable words")
+    assert heavy.prevention_fraction >= light.prevention_fraction
+
+
+def test_single_pass_prevents_about_half(weak_map):
+    """A mid-window pass splits a uniform pair with probability ~1/2."""
+    report = PatrolScrubber(weak_map, 4.0, 70.0, passes=1, seed=2).run(40)
+    if report.total_vulnerable_words < 20:
+        pytest.skip("too few vulnerable words for a stable estimate")
+    assert report.prevention_fraction == pytest.approx(0.5, abs=0.15)
+
+
+def test_no_passes_prevent_nothing(weak_map):
+    report = PatrolScrubber(weak_map, 4.0, 70.0, passes=0, seed=2).run(6)
+    assert report.total_prevented == 0
+
+
+def test_invalid_configs(weak_map):
+    with pytest.raises(ConfigurationError):
+        PatrolScrubber(weak_map, 4.0, 70.0, passes=-1)
+    scrubber = PatrolScrubber(weak_map, 4.0, 70.0, passes=1)
+    with pytest.raises(ConfigurationError):
+        scrubber.run(windows=0)

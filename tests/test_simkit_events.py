@@ -1,0 +1,103 @@
+"""Event-loop kernel: ordering, cancellation, budgets."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, lambda: fired.append("late"))
+    sim.schedule(1.0, lambda: fired.append("early"))
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_same_time_fifo_ordering():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(1.0, lambda i=i: fired.append(i))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(3.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.5]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_skipped():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    assert sim.run() == 0
+    assert fired == []
+
+
+def test_run_until_stops_at_deadline():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    sim.run_until(2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_past_deadline_rejected():
+    sim = Simulator()
+    sim.run_until(5.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(1.0)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    sim.run_until(2.0)
+    seen = []
+    sim.schedule_at(3.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [3.0]
+
+
+def test_event_budget_guards_runaway_loops():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(0.0, reschedule)
+
+    sim.schedule(0.0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append("nested")))
+    sim.run()
+    assert fired == ["nested"]
+    assert sim.now == 2.0
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek() == 2.0

@@ -1,0 +1,104 @@
+"""Generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import Process, Simulator, sleep
+from repro.simkit.process import spawn
+
+
+def test_process_sleeps_in_virtual_time():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        trace.append(sim.now)
+        yield sleep(2.0)
+        trace.append(sim.now)
+        yield 3.0
+        trace.append(sim.now)
+
+    spawn(sim, body())
+    sim.run()
+    assert trace == [0.0, 2.0, 5.0]
+
+
+def test_process_return_value_exposed():
+    sim = Simulator()
+
+    def body():
+        yield 1.0
+        return 42
+
+    proc = spawn(sim, body())
+    sim.run()
+    assert proc.done
+    assert proc.result == 42
+
+
+def test_process_waits_for_other_process():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        yield 5.0
+        return "payload"
+
+    def waiter(target):
+        value = yield target
+        trace.append((sim.now, value))
+
+    target = spawn(sim, worker())
+    spawn(sim, waiter(target))
+    sim.run()
+    assert trace == [(5.0, "payload")]
+
+
+def test_waiting_on_finished_process_resolves_immediately():
+    sim = Simulator()
+
+    def worker():
+        yield 1.0
+        return "done"
+
+    target = spawn(sim, worker())
+    sim.run()
+
+    results = []
+
+    def late_waiter():
+        value = yield target
+        results.append(value)
+
+    spawn(sim, late_waiter())
+    sim.run()
+    assert results == ["done"]
+
+
+def test_invalid_yield_type_raises():
+    sim = Simulator()
+
+    def body():
+        yield "not a delay"
+
+    spawn(sim, body())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_multiple_waiters_all_wake():
+    sim = Simulator()
+    woken = []
+
+    def worker():
+        yield 2.0
+        return "v"
+
+    target = spawn(sim, worker())
+    for i in range(3):
+        def waiter(i=i):
+            value = yield target
+            woken.append((i, value))
+        spawn(sim, waiter())
+    sim.run()
+    assert sorted(woken) == [(0, "v"), (1, "v"), (2, "v")]

@@ -1,0 +1,72 @@
+"""Counted resources with FIFO queues."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import Resource, Simulator
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(SimulationError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_acquire_within_capacity_grants_async():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    granted = []
+    res.acquire(lambda: granted.append("a"))
+    assert granted == []  # grant is via the event loop, never synchronous
+    sim.run()
+    assert granted == ["a"]
+    assert res.in_use == 1
+
+
+def test_fifo_ordering_of_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+    res.acquire(lambda: order.append("first"))
+    res.acquire(lambda: order.append("second"))
+    res.acquire(lambda: order.append("third"))
+    sim.run()
+    assert order == ["first"]
+    res.release()
+    sim.run()
+    res.release()
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_release_without_hold_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_available_and_queue_length_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    res.acquire(lambda: None)
+    res.acquire(lambda: None)
+    res.acquire(lambda: None)
+    sim.run()
+    assert res.available == 0
+    assert res.queue_length == 1
+    assert res.utilisation_snapshot() == (2, 2, 1)
+
+
+def test_release_hands_slot_directly_to_waiter():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    got = []
+    res.acquire(lambda: got.append(1))
+    res.acquire(lambda: got.append(2))
+    sim.run()
+    res.release()
+    sim.run()
+    # Slot moved to the waiter: still fully utilized, queue drained.
+    assert res.in_use == 1
+    assert res.queue_length == 0
+    assert got == [1, 2]

@@ -1,0 +1,89 @@
+"""Low-voltage SRAM fault model."""
+
+import pytest
+
+from repro.cpu.sram import (
+    DEFAULT_CELL_VMIN_MEAN_MV,
+    SramArray,
+    SramFaultModel,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def l1d() -> SramArray:
+    return SramArray("core0.l1d", 32 * 1024, ways=8, seed=1)
+
+
+def test_geometry_derivation(l1d):
+    assert l1d.sets == 64
+    assert l1d.total_bits == 32 * 1024 * 8
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigurationError):
+        SramArray("bad", 1000, ways=3)
+
+
+def test_failure_probability_monotonic_in_voltage(l1d):
+    probs = [l1d.failure_probability(v) for v in (760, 800, 820, 860, 900)]
+    assert probs == sorted(probs, reverse=True)
+
+
+def test_failure_probability_half_at_mean(l1d):
+    assert l1d.failure_probability(DEFAULT_CELL_VMIN_MEAN_MV) == pytest.approx(0.5)
+
+
+def test_expected_failures_negligible_at_nominal(l1d):
+    # At the 980 mV nominal the array must be clean.
+    assert l1d.expected_failing_bits(980.0) < 1e-6
+
+
+def test_sample_failures_empty_at_high_voltage(l1d):
+    assert l1d.sample_failures(980.0) == []
+
+
+def test_sample_failures_populated_below_vmin(l1d):
+    failures = l1d.sample_failures(DEFAULT_CELL_VMIN_MEAN_MV - 30.0,
+                                   max_failures=500)
+    assert failures
+    for f in failures:
+        assert 0 <= f.set_index < l1d.sets
+        assert 0 <= f.way < l1d.ways
+        assert 0 <= f.bit < l1d.line_bytes * 8
+
+
+def test_sample_failures_capped(l1d):
+    failures = l1d.sample_failures(700.0, max_failures=100)
+    assert len(failures) == 100
+
+
+def test_vmin_for_budget_bisects_correctly(l1d):
+    vmin = l1d.vmin_for_budget(0.5)
+    assert l1d.expected_failing_bits(vmin) <= 0.5
+    assert l1d.expected_failing_bits(vmin - 2.0) > 0.5
+
+
+def test_hierarchy_has_all_arrays():
+    model = SramFaultModel(seed=1)
+    names = {a.name for a in model.arrays}
+    assert "core0.l1i" in names
+    assert "core7.l1d" in names
+    assert "pmd3.l2" in names
+    assert len(model.arrays) == 8 * 2 + 4  # 16 L1 arrays + 4 L2s
+
+
+def test_hierarchy_lookup_and_weakest():
+    model = SramFaultModel(seed=1)
+    assert model.array("pmd0.l2").name == "pmd0.l2"
+    with pytest.raises(KeyError):
+        model.array("nope")
+    weakest = model.weakest_array()
+    assert model.hierarchy_vmin() == pytest.approx(weakest.vmin_for_budget())
+
+
+def test_hierarchy_vmin_below_logic_vcrit():
+    # SRAM must fail *after* logic under noisy workloads: its budgeted
+    # Vmin sits below the TTT v_crit + typical droop.
+    model = SramFaultModel(seed=1)
+    assert model.hierarchy_vmin() < 880.0

@@ -1,0 +1,91 @@
+"""Virtual-time campaign scheduling and study-cost estimation."""
+
+import pytest
+
+from repro.core.timeline import CampaignScheduler, figure4_study_hours
+from repro.errors import CampaignError
+from repro.workloads.spec import spec_suite, spec_workload
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return spec_suite()[:4]
+
+
+def test_serial_makespan_equals_sum(ttt_chip, suite):
+    scheduler = CampaignScheduler(ttt_chip, repetitions=3, seed=1)
+    timeline = scheduler.schedule(suite, parallel=False)
+    assert len(timeline.searches) == 4
+    assert timeline.makespan_s == pytest.approx(timeline.total_busy_s)
+    assert timeline.speedup == pytest.approx(1.0)
+
+
+def test_parallel_overlaps_searches(ttt_chip, suite):
+    scheduler = CampaignScheduler(ttt_chip, repetitions=3, seed=1)
+    serial = scheduler.schedule(suite, parallel=False)
+    parallel = scheduler.schedule(suite, parallel=True)
+    assert parallel.makespan_s < serial.makespan_s
+    assert parallel.speedup > 1.5
+    # The same work happens either way.
+    assert parallel.total_busy_s == pytest.approx(serial.total_busy_s)
+
+
+def test_schedule_does_not_change_results(ttt_chip, suite):
+    scheduler = CampaignScheduler(ttt_chip, repetitions=3, seed=1)
+    serial = scheduler.schedule(suite, parallel=False)
+    parallel = scheduler.schedule(suite, parallel=True)
+    by_name_serial = {s.result.workload: s.result.safe_vmin_mv
+                      for s in serial.searches}
+    by_name_parallel = {s.result.workload: s.result.safe_vmin_mv
+                        for s in parallel.searches}
+    assert by_name_serial == by_name_parallel
+
+
+def test_serial_searches_never_overlap(ttt_chip, suite):
+    scheduler = CampaignScheduler(ttt_chip, repetitions=3, seed=1)
+    timeline = scheduler.schedule(suite, parallel=False)
+    spans = sorted((s.start_s, s.end_s) for s in timeline.searches)
+    for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:]):
+        assert start_b >= end_a - 1e-9
+
+
+def test_durations_match_campaign_wall_time(ttt_chip, suite):
+    scheduler = CampaignScheduler(ttt_chip, repetitions=3, seed=1)
+    timeline = scheduler.schedule(suite)
+    for scheduled in timeline.searches:
+        assert scheduled.duration_s == pytest.approx(
+            scheduled.result.campaign_wall_time_s)
+
+
+def test_figure4_study_is_genuinely_time_consuming(ttt_chip):
+    """The paper's full per-chip Figure 4 study (10 programs, 10
+    repetitions, 5 mV steps, 5-minute runs) costs tens of hours of
+    testbed time -- the reason it calls the flow time-consuming."""
+    _timeline, hours = figure4_study_hours(ttt_chip, spec_suite(),
+                                           repetitions=10, seed=1)
+    assert hours > 20.0
+    assert hours < 200.0
+
+
+def test_duration_tracks_total_repetitions(ttt_chip):
+    """A search's timeline slot covers every repetition it executed;
+    shallow failures (UE/SDC) end the descent without reboot cost, so
+    the duration is bounded below by the clean-run budget."""
+    scheduler = CampaignScheduler(ttt_chip, repetitions=3, seed=1)
+    timeline = scheduler.schedule([spec_workload("mcf")])
+    search = timeline.searches[0]
+    total_runs = sum(rec.run.setup.repetitions
+                     for rec in search.result.records)
+    from repro.core.executor import NOMINAL_RUNTIME_S
+    assert search.duration_s >= total_runs * NOMINAL_RUNTIME_S * 0.9
+    # The descent probed from nominal down past Vmin: a dozen-plus
+    # voltage steps, three runs each.
+    assert total_runs >= 3 * 10
+
+
+def test_empty_study_rejected(ttt_chip):
+    scheduler = CampaignScheduler(ttt_chip, seed=1)
+    with pytest.raises(CampaignError):
+        scheduler.schedule([])
+    with pytest.raises(CampaignError):
+        CampaignScheduler(ttt_chip, cores_per_search=0)

@@ -1,0 +1,80 @@
+"""SoC topology invariants."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.soc.topology import CoreId, SocTopology
+
+
+@pytest.fixture()
+def topo() -> SocTopology:
+    return SocTopology()
+
+
+def test_xgene2_shape(topo):
+    # Section II: 4 PMDs x 2 cores, 4 MCUs, up to 8 DIMMs, 16 ranks.
+    assert topo.num_cores == 8
+    assert topo.num_mcus == 4
+    assert topo.num_dimms == 8
+    assert topo.num_ranks == 16
+
+
+def test_core_linear_roundtrip():
+    for index in range(8):
+        core = CoreId.from_linear(index)
+        assert core.linear == index
+
+
+def test_core_id_validation():
+    with pytest.raises(TopologyError):
+        CoreId(4, 0)
+    with pytest.raises(TopologyError):
+        CoreId(0, 2)
+    with pytest.raises(TopologyError):
+        CoreId.from_linear(8)
+
+
+def test_pmd_cores_share_l2(topo):
+    core = CoreId(1, 0)
+    sharers = topo.l2_sharers(core)
+    assert sharers == [CoreId(1, 0), CoreId(1, 1)]
+
+
+def test_cores_iteration_order(topo):
+    cores = list(topo.cores())
+    assert [c.linear for c in cores] == list(range(8))
+    assert cores[0].pmd == 0 and cores[7].pmd == 3
+
+
+def test_mcu_of_dimm_mapping(topo):
+    assert topo.mcu_of_dimm(0) == 0
+    assert topo.mcu_of_dimm(1) == 0
+    assert topo.mcu_of_dimm(7) == 3
+    with pytest.raises(TopologyError):
+        topo.mcu_of_dimm(8)
+
+
+def test_mcb_of_mcu_mapping(topo):
+    assert topo.mcb_of_mcu(0) == 0
+    assert topo.mcb_of_mcu(1) == 0
+    assert topo.mcb_of_mcu(2) == 1
+    assert topo.mcb_of_mcu(3) == 1
+
+
+def test_dimm_rank_pairs_enumeration(topo):
+    pairs = list(topo.dimm_rank_pairs())
+    assert len(pairs) == topo.num_ranks
+    assert pairs[0] == (0, 0)
+    assert pairs[-1] == (7, 1)
+
+
+def test_invalid_topology_rejected():
+    with pytest.raises(TopologyError):
+        SocTopology(num_pmds=0)
+
+
+def test_cache_sizes_match_paper(topo):
+    assert topo.l1i_bytes == 32 * 1024
+    assert topo.l1d_bytes == 32 * 1024
+    assert topo.l2_bytes_per_pmd == 256 * 1024
+    assert topo.l3_bytes == 8 * 1024 * 1024

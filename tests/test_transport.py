@@ -1,0 +1,174 @@
+"""Result transports: serial framing, lossy network, idempotent cloud."""
+
+import pytest
+
+from repro.core.results import ResultRow, ResultStore
+from repro.core.transport import (
+    CloudStore,
+    NetworkLink,
+    ResultUploader,
+    SerialLink,
+    decode_row,
+    encode_row,
+)
+from repro.errors import CampaignError
+
+
+def row(run_id=1, rep=0, outcome="correct") -> ResultRow:
+    return ResultRow(run_id=run_id, benchmark="mcf", suite="spec2006",
+                     voltage_mv=900.0, freq_ghz=2.4, cores="0",
+                     repetition=rep, outcome=outcome, verdict="completed",
+                     corrected_errors=0, uncorrected_errors=0,
+                     wall_time_s=300.0)
+
+
+def store_of(count: int) -> ResultStore:
+    store = ResultStore()
+    for run_id in range(count):
+        for rep in range(3):
+            store.append(row(run_id=run_id, rep=rep))
+    return store
+
+
+# ----------------------------------------------------------------------
+# Row codec
+# ----------------------------------------------------------------------
+def test_row_codec_roundtrip():
+    original = row(run_id=7, rep=2, outcome="sdc")
+    assert decode_row(encode_row(original)) == original
+
+
+def test_decode_rejects_malformed():
+    with pytest.raises(CampaignError):
+        decode_row("too,few,fields")
+
+
+# ----------------------------------------------------------------------
+# Cloud store idempotence
+# ----------------------------------------------------------------------
+def test_cloud_store_dedupes():
+    cloud = CloudStore()
+    cloud.receive(row(run_id=1, rep=0))
+    cloud.receive(row(run_id=1, rep=0))
+    cloud.receive(row(run_id=1, rep=1))
+    assert len(cloud) == 2
+    assert cloud.duplicates == 1
+
+
+def test_cloud_store_materializes_sorted():
+    cloud = CloudStore()
+    cloud.receive(row(run_id=2, rep=0))
+    cloud.receive(row(run_id=1, rep=1))
+    cloud.receive(row(run_id=1, rep=0))
+    rows = cloud.to_store().rows()
+    keys = [(r.run_id, r.repetition) for r in rows]
+    assert keys == sorted(keys)
+
+
+# ----------------------------------------------------------------------
+# Serial link
+# ----------------------------------------------------------------------
+def test_serial_clean_channel_delivers_everything():
+    cloud = CloudStore()
+    link = SerialLink(cloud, bit_error_rate=0.0, seed=1)
+    ok, failed = ResultUploader(link).upload(store_of(10))
+    assert (ok, failed) == (30, 0)
+    assert len(cloud) == 30
+    assert link.stats.corrupted == 0
+
+
+def test_serial_noisy_channel_retries_to_delivery():
+    cloud = CloudStore()
+    link = SerialLink(cloud, bit_error_rate=2e-3, max_retries=16, seed=2)
+    ok, failed = ResultUploader(link).upload(store_of(15))
+    assert failed == 0
+    assert len(cloud) == 45
+    assert link.stats.corrupted > 0          # corruption happened...
+    assert link.stats.attempts > link.stats.delivered  # ...and was retried
+
+
+def test_serial_corruption_never_pollutes_store():
+    """CRC framing must reject every corrupted frame: whatever arrives
+    in the cloud is a bit-exact subset of what was sent, even on a
+    channel so bad that some rows exhaust their retries."""
+    cloud = CloudStore()
+    link = SerialLink(cloud, bit_error_rate=5e-3, max_retries=32, seed=3)
+    source = store_of(10)
+    ok, failed = ResultUploader(link).upload(source)
+    sent_lines = set(source.to_csv_text().splitlines())
+    received_lines = set(cloud.to_store().to_csv_text().splitlines())
+    assert received_lines <= sent_lines
+    assert len(cloud) == ok
+    assert ok + failed == len(source)
+
+
+def test_serial_moderate_channel_delivers_exactly():
+    """At a survivable error rate every row arrives, in order, intact."""
+    cloud = CloudStore()
+    link = SerialLink(cloud, bit_error_rate=1e-3, max_retries=32, seed=3)
+    source = store_of(10)
+    ok, failed = ResultUploader(link).upload(source)
+    assert failed == 0
+    assert cloud.to_store().to_csv_text() == source.to_csv_text()
+
+
+def test_serial_hopeless_channel_gives_up():
+    cloud = CloudStore()
+    link = SerialLink(cloud, bit_error_rate=0.2, max_retries=2, seed=4)
+    ok, failed = ResultUploader(link).upload(store_of(3))
+    assert failed > 0
+    assert link.stats.gave_up == failed
+
+
+def test_serial_validation():
+    with pytest.raises(CampaignError):
+        SerialLink(CloudStore(), bit_error_rate=1.5)
+    with pytest.raises(CampaignError):
+        SerialLink(CloudStore(), max_retries=-1)
+
+
+# ----------------------------------------------------------------------
+# Network link
+# ----------------------------------------------------------------------
+def test_network_lossy_channel_converges():
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.3, ack_loss_rate=0.1,
+                       max_retries=32, seed=5)
+    source = store_of(20)
+    ok, failed = ResultUploader(link).upload(source)
+    assert failed == 0
+    assert len(cloud) == 60
+    assert cloud.to_store().to_csv_text() == source.to_csv_text()
+
+
+def test_network_lost_acks_produce_absorbed_duplicates():
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.0, ack_loss_rate=0.4,
+                       max_retries=16, seed=6)
+    ResultUploader(link).upload(store_of(20))
+    assert cloud.duplicates > 0        # retransmissions happened
+    assert len(cloud) == 60            # contents still exactly-once
+
+
+def test_network_send_reports_arrival_despite_final_ack_loss():
+    """If the packet landed but the last ack died, send() must still
+    report success (the row is in the store)."""
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.0, ack_loss_rate=0.999,
+                       max_retries=1, seed=7)
+    assert link.send(row()) is True
+    assert len(cloud) == 1
+
+
+def test_network_validation():
+    with pytest.raises(CampaignError):
+        NetworkLink(CloudStore(), loss_rate=1.0)
+    with pytest.raises(CampaignError):
+        NetworkLink(CloudStore(), ack_loss_rate=-0.1)
+
+
+def test_transport_stats_retry_rate():
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.5, max_retries=64, seed=8)
+    ResultUploader(link).upload(store_of(10))
+    assert link.stats.retry_rate > 0.0

@@ -1,0 +1,11 @@
+"""Version metadata consistency."""
+
+import pathlib
+
+import repro
+
+
+def test_version_matches_pyproject():
+    pyproject = pathlib.Path(repro.__file__).parent.parent.parent / "pyproject.toml"
+    text = pyproject.read_text()
+    assert f'version = "{repro.__version__}"' in text

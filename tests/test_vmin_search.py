@@ -1,0 +1,82 @@
+"""Descending-ladder Vmin search."""
+
+import pytest
+
+from repro.core.executor import CampaignExecutor
+from repro.core.vmin import VminSearch
+from repro.errors import SearchError
+from repro.soc.chip import Chip
+from repro.soc.corners import ProcessCorner
+from repro.soc.topology import CoreId
+from repro.workloads.spec import spec_workload
+
+
+def test_search_brackets_true_vmin(ttt_search, ttt_chip):
+    workload = spec_workload("milc")
+    core = ttt_chip.strongest_core()
+    result = ttt_search.search(workload, cores=(core,))
+    true_vmin = ttt_chip.vmin_mv(core, workload.resonant_swing)
+    assert result.safe_vmin_mv >= true_vmin
+    assert result.safe_vmin_mv - true_vmin < ttt_search.step_mv
+    assert result.first_unsafe_mv is not None
+    assert result.first_unsafe_mv < true_vmin
+
+
+def test_search_matches_figure4_bins(ttt_search, ttt_chip):
+    core = ttt_chip.strongest_core()
+    expect = {"mcf": 860.0, "gcc": 865.0, "milc": 885.0, "bwaves": 885.0}
+    for name, target in expect.items():
+        result = ttt_search.search(spec_workload(name), cores=(core,))
+        assert result.safe_vmin_mv == target, name
+
+
+def test_guardband_and_power_reduction(ttt_search, ttt_chip):
+    core = ttt_chip.strongest_core()
+    result = ttt_search.search(spec_workload("milc"), cores=(core,))
+    assert result.guardband_mv == pytest.approx(980.0 - 885.0)
+    assert result.power_reduction_fraction == pytest.approx(
+        1.0 - (885.0 / 980.0) ** 2)
+
+
+def test_search_suite_covers_all(ttt_search, ttt_chip):
+    core = ttt_chip.strongest_core()
+    suite = [spec_workload("mcf"), spec_workload("milc")]
+    results = ttt_search.search_suite(suite, cores=(core,))
+    assert [r.workload for r in results] == ["mcf", "milc"]
+    assert results[0].safe_vmin_mv < results[1].safe_vmin_mv
+
+
+def test_wall_time_accumulates(ttt_search):
+    result = ttt_search.search(spec_workload("mcf"))
+    assert result.campaign_wall_time_s > 0
+
+
+def test_search_records_every_probed_voltage(ttt_search):
+    result = ttt_search.search(spec_workload("mcf"))
+    voltages = [rec.run.setup.voltage_mv for rec in result.records]
+    assert voltages == sorted(voltages, reverse=True)
+    assert voltages[0] == 980.0
+
+
+def test_search_respects_floor():
+    chip = Chip(ProcessCorner.TTT, seed=1, jitter_sigma_mv=0.0)
+    executor = CampaignExecutor(chip, seed=1)
+    search = VminSearch(executor, floor_mv=960.0, repetitions=2)
+    result = search.search(spec_workload("mcf"))
+    assert result.safe_vmin_mv == 960.0
+    assert result.first_unsafe_mv is None
+
+
+def test_invalid_search_config(ttt_executor):
+    with pytest.raises(SearchError):
+        VminSearch(ttt_executor, step_mv=0.0)
+    with pytest.raises(SearchError):
+        VminSearch(ttt_executor, floor_mv=990.0)
+
+
+def test_search_deterministic(ttt_chip):
+    def run():
+        executor = CampaignExecutor(ttt_chip, seed=3)
+        return VminSearch(executor, repetitions=5).search(
+            spec_workload("namd"), cores=(ttt_chip.strongest_core(),))
+    assert run().safe_vmin_mv == run().safe_vmin_mv

@@ -1,0 +1,68 @@
+"""Watchdog recovery ladder."""
+
+import pytest
+
+from repro.core.watchdog import Watchdog, WatchdogVerdict
+from repro.cpu.outcomes import RunOutcome
+from repro.errors import ConfigurationError
+
+
+def test_clean_run_completes_in_nominal_time():
+    dog = Watchdog()
+    run = dog.supervise(RunOutcome.CORRECT, nominal_runtime_s=300.0)
+    assert run.verdict is WatchdogVerdict.COMPLETED
+    assert run.wall_time_s == 300.0
+
+
+def test_sdc_does_not_need_recovery():
+    dog = Watchdog()
+    run = dog.supervise(RunOutcome.SDC, 300.0)
+    assert run.verdict is WatchdogVerdict.COMPLETED
+
+
+def test_hang_costs_timeout_plus_reset():
+    dog = Watchdog(timeout_s=120.0, reset_time_s=45.0, reset_success_rate=1.0)
+    run = dog.supervise(RunOutcome.HANG, 300.0)
+    assert run.verdict is WatchdogVerdict.TIMEOUT_RESET
+    assert run.wall_time_s == pytest.approx(165.0)
+
+
+def test_crash_noticed_midway():
+    dog = Watchdog(reset_success_rate=1.0)
+    run = dog.supervise(RunOutcome.CRASH, 300.0)
+    assert run.wall_time_s == pytest.approx(150.0 + dog.reset_time_s)
+
+
+def test_escalation_to_power_switch():
+    dog = Watchdog(reset_success_rate=0.8)
+    verdicts = [dog.supervise(RunOutcome.HANG, 300.0).verdict
+                for _ in range(10)]
+    power_cycles = sum(1 for v in verdicts if v is WatchdogVerdict.TIMEOUT_POWER)
+    assert power_cycles == 2  # deterministic: every 5th hang escalates
+
+
+def test_power_cycle_costs_more():
+    dog = Watchdog(reset_success_rate=0.0)  # reset never works
+    run = dog.supervise(RunOutcome.HANG, 300.0)
+    assert run.verdict is WatchdogVerdict.TIMEOUT_POWER
+    assert run.wall_time_s == pytest.approx(
+        dog.timeout_s + dog.reset_time_s + dog.power_cycle_time_s)
+
+
+def test_recovery_events_logged():
+    dog = Watchdog()
+    dog.supervise(RunOutcome.HANG, 300.0, now_s=10.0, description="run1")
+    dog.supervise(RunOutcome.CORRECT, 300.0, now_s=20.0)
+    events = dog.recovery_events()
+    assert len(events) == 1
+    assert events[0].run_description == "run1"
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        Watchdog(timeout_s=0.0)
+    with pytest.raises(ConfigurationError):
+        Watchdog(reset_success_rate=1.5)
+    dog = Watchdog()
+    with pytest.raises(ConfigurationError):
+        dog.supervise(RunOutcome.CORRECT, 0.0)
