@@ -34,6 +34,7 @@ from repro.core import (
     CampaignExecutor,
     CampaignPlan,
     GuardbandReport,
+    ParallelCampaignExecutor,
     SafeOperatingPoint,
     VminPredictor,
     VminSearch,
@@ -66,6 +67,7 @@ __all__ = [
     "GuardbandReport",
     "JammerDetector",
     "MemoryControlUnit",
+    "ParallelCampaignExecutor",
     "ProcessCorner",
     "RetentionModel",
     "SLIMpro",

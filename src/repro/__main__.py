@@ -3,11 +3,16 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig4 [--seed N] [--fast]
-    python -m repro run all  [--seed N] [--fast]
+    python -m repro run fig4 [--seed N] [--fast] [--jobs N]
+    python -m repro run all  [--seed N] [--fast] [--jobs N]
 
-``--fast`` trims repetitions/GA budgets for a quick smoke pass; the
-default settings match the benches.
+``--fast`` trims repetitions/GA budgets for a quick smoke pass;
+``--jobs`` fans the shardable experiments (fig4/fig6/fig7/table1) out
+across worker processes -- results are bit-identical at any worker
+count. The default settings match the benches.
+
+Experiment ids come from :data:`repro.experiments.REGISTRY`; the lambdas
+below only adapt per-experiment budget knobs to the shared flags.
 """
 
 from __future__ import annotations
@@ -21,37 +26,33 @@ from repro.rand import DEFAULT_SEED
 
 
 def _experiments() -> Dict[str, Callable]:
-    from repro.experiments import (
-        run_figure4, run_figure5, run_figure6, run_figure7,
-        run_figure8a, run_figure8b, run_figure9,
-        run_stencil_study, run_table1,
-    )
-    return {
-        "fig4": lambda seed, fast: run_figure4(
+    from repro.experiments import REGISTRY
+
+    def plain(name):
+        return lambda seed, fast, jobs: REGISTRY[name](seed=seed)
+
+    adapters = {
+        "fig4": lambda seed, fast, jobs: REGISTRY["fig4"](
+            seed=seed, repetitions=3 if fast else 10, jobs=jobs),
+        "fig5": lambda seed, fast, jobs: REGISTRY["fig5"](
             seed=seed, repetitions=3 if fast else 10),
-        "fig5": lambda seed, fast: run_figure5(
-            seed=seed, repetitions=3 if fast else 10),
-        "fig6": lambda seed, fast: run_figure6(
+        "fig6": lambda seed, fast, jobs: REGISTRY["fig6"](
             seed=seed, repetitions=3 if fast else 10,
-            generations=8 if fast else 25, population=16 if fast else 32),
-        "fig7": lambda seed, fast: run_figure7(
+            generations=8 if fast else 25, population=16 if fast else 32,
+            jobs=jobs),
+        "fig7": lambda seed, fast, jobs: REGISTRY["fig7"](
             seed=seed, repetitions=3 if fast else 10,
-            generations=8 if fast else 25, population=16 if fast else 32),
-        "table1": lambda seed, fast: run_table1(
+            generations=8 if fast else 25, population=16 if fast else 32,
+            jobs=jobs),
+        "table1": lambda seed, fast, jobs: REGISTRY["table1"](
             seed=seed, regulate=not fast,
-            sample_devices=24 if fast else 72),
-        "fig8a": lambda seed, fast: run_figure8a(seed=seed),
-        "fig8b": lambda seed, fast: run_figure8b(seed=seed),
-        "fig9": lambda seed, fast: run_figure9(
+            sample_devices=24 if fast else 72, jobs=jobs),
+        "fig9": lambda seed, fast, jobs: REGISTRY["fig9"](
             seed=seed, repetitions=3 if fast else 10),
-        "stencil": lambda seed, fast: run_stencil_study(seed=seed),
-        "multiprocess": lambda seed, fast: _run_multiprocess(seed, fast),
+        "multiprocess": lambda seed, fast, jobs: REGISTRY["multiprocess"](
+            seed=seed, repetitions=3 if fast else 5),
     }
-
-
-def _run_multiprocess(seed, fast):
-    from repro.experiments.multiprocess_vmin import run_multiprocess_study
-    return run_multiprocess_study(seed=seed, repetitions=3 if fast else 5)
+    return {name: adapters.get(name, plain(name)) for name in REGISTRY}
 
 
 def main(argv=None) -> int:
@@ -67,6 +68,9 @@ def main(argv=None) -> int:
     runner.add_argument("--seed", type=int, default=DEFAULT_SEED)
     runner.add_argument("--fast", action="store_true",
                         help="reduced budgets for a quick smoke pass")
+    runner.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the shardable "
+                        "experiments (results identical at any count)")
     reporter = sub.add_parser(
         "report", help="run every experiment and render the full "
         "paper-vs-measured reproduction report")
@@ -85,6 +89,9 @@ def main(argv=None) -> int:
         print(report.render())
         return 0 if report.all_passed else 1
 
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     targets = list(experiments) if args.experiment == "all" \
         else [args.experiment]
     unknown = [t for t in targets if t not in experiments]
@@ -94,7 +101,7 @@ def main(argv=None) -> int:
         return 2
     for name in targets:
         start = time.perf_counter()
-        result = experiments[name](args.seed, args.fast)
+        result = experiments[name](args.seed, args.fast, args.jobs)
         elapsed = time.perf_counter() - start
         print("=" * 72)
         print(result.format())

@@ -40,6 +40,7 @@ from repro.core.failure_prob import (
 from repro.core.framework import CharacterizationFramework, ChipStudy
 from repro.core.governor import GovernorReport, VoltageGovernor
 from repro.core.executor import CampaignExecutor, RunRecord
+from repro.core.parallel import ParallelCampaignExecutor, parallel_map
 from repro.core.watchdog import Watchdog, WatchdogVerdict
 from repro.core.classify import OutcomeCounts, classify_run_log, summarize
 from repro.core.results import ResultStore, result_fields
@@ -75,6 +76,7 @@ __all__ = [
     "ResultUploader",
     "SerialLink",
     "OutcomeCounts",
+    "ParallelCampaignExecutor",
     "PredictorReport",
     "ResultStore",
     "RunRecord",
@@ -90,6 +92,7 @@ __all__ = [
     "classify_run_log",
     "guardband_report",
     "idle_vmin_mv",
+    "parallel_map",
     "result_fields",
     "run_attribution",
     "select_safe_points",

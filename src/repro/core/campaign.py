@@ -40,6 +40,17 @@ class CharacterizationSetup:
         cores = ",".join(str(c.linear) for c in self.cores)
         return f"{self.voltage_mv:.0f}mV@{self.freq_ghz}GHz cores[{cores}]x{self.repetitions}"
 
+    def stream_key(self) -> str:
+        """Exact operating-point signature used for RNG substream tags.
+
+        Unlike :meth:`describe` this keeps full float precision, so two
+        setups share a random stream only when they are the same
+        operating point.
+        """
+        cores = ",".join(str(c.linear) for c in self.cores)
+        return (f"{self.voltage_mv!r}mV@{self.freq_ghz!r}GHz"
+                f"[{cores}]x{self.repetitions}")
+
 
 @dataclass(frozen=True)
 class CharacterizationRun:
@@ -51,6 +62,15 @@ class CharacterizationRun:
 
     def describe(self) -> str:
         return f"run{self.run_id}:{self.workload.name}@{self.setup.describe()}"
+
+    def stream_key(self) -> str:
+        """Order-independent signature of this run's sampled behaviour.
+
+        Excludes ``run_id`` deliberately: the id reflects declaration
+        order, while the random stream must depend only on *what* is
+        executed so sharded and serial executions draw identically.
+        """
+        return f"{self.workload.name}@{self.setup.stream_key()}"
 
 
 @dataclass(frozen=True)
@@ -105,13 +125,20 @@ class CampaignPlan:
             raise CampaignError("step must be positive")
         if stop_mv > start_mv:
             raise CampaignError("sweep must descend (stop <= start)")
-        voltage = start_mv
-        while voltage >= stop_mv - 1e-9:
+        # Integer-indexed ladder: accumulating ``voltage -= step_mv``
+        # drifts for steps with no exact binary representation (0.1 mV
+        # accumulates ~1e-13 per rung), which de-duplicates CSV voltage
+        # columns and RNG stream keys. ``start - i * step`` does not.
+        index = 0
+        while True:
+            voltage = start_mv - index * step_mv
+            if voltage < stop_mv - 1e-9:
+                break
             self.add_setup(CharacterizationSetup(
                 voltage_mv=voltage, freq_ghz=freq_ghz,
                 cores=tuple(cores), repetitions=repetitions,
             ))
-            voltage -= step_mv
+            index += 1
         return self
 
     def build(self) -> List[Campaign]:

@@ -1,0 +1,142 @@
+"""Process-parallel campaign engine.
+
+The paper's characterization methodology is embarrassingly parallel at
+the campaign level: every (benchmark, chip) pair walks its own voltage
+ladder, and the system-level framework of Papadimitriou et al.
+(arXiv:2106.09975) exploits exactly that shape across cores. This module
+adds the same fan-out to our reproduction without giving up bit-exact
+determinism:
+
+- every characterization run already draws from a named substream
+  derived from ``(seed, chip serial, run signature)`` (see
+  :class:`repro.core.executor.CampaignExecutor`), so a run's sampled
+  outcomes do not depend on which process executes it or in what order;
+- each campaign shard gets a fresh executor (and therefore a fresh
+  watchdog recovery ladder), so harness-side recovery accounting is
+  campaign-local and also order-independent;
+- shard results come back through :class:`concurrent.futures` in
+  submission order and merge into one :class:`ResultStore`.
+
+Consequently ``jobs=1`` (inline, no pool) and any ``jobs=N`` produce
+identical records and identical result rows -- the property
+``tests/test_parallel.py`` locks down.
+
+Seeds must be integers (or ``None``) for cross-process reproducibility:
+a live generator object cannot be re-derived identically on workers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+from repro.core.campaign import Campaign
+from repro.core.executor import CampaignExecutor, RunRecord
+from repro.core.results import ResultStore
+from repro.errors import CampaignError
+from repro.rand import DEFAULT_SEED
+from repro.soc.chip import Chip
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the machine's CPU count."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_seed(seed) -> int:
+    """Coerce a seed to the integer base the parallel engine requires.
+
+    Integers pass through and ``None`` becomes :data:`DEFAULT_SEED`;
+    generator objects are rejected because their state cannot be
+    re-derived identically in worker processes.
+    """
+    if seed is None:
+        return DEFAULT_SEED
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise CampaignError(
+            "parallel execution needs an integer seed (or None); "
+            f"got {type(seed).__name__}"
+        )
+    return int(seed)
+
+
+def parallel_map(fn: Callable[[_T], _R], items: Sequence[_T],
+                 jobs: int = 1) -> List[_R]:
+    """Order-preserving map, optionally fanned out across processes.
+
+    ``jobs <= 1`` (or a single item) runs inline with no pool -- the
+    deterministic reference path. ``fn`` and every item must be
+    picklable when ``jobs > 1``; results return in item order, so a
+    worker count never reorders downstream aggregation.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def _campaign_shard(task: Tuple[Chip, int, Campaign, bool]
+                    ) -> Tuple[List[RunRecord], List]:
+    """Worker body: execute one campaign on a fresh executor."""
+    chip, seed, campaign, stop_on_unsafe = task
+    executor = CampaignExecutor(chip, seed=seed)
+    records = executor.execute_campaign(campaign, stop_on_unsafe=stop_on_unsafe)
+    return records, executor.store.rows()
+
+
+class ParallelCampaignExecutor:
+    """Shards campaigns across a process pool, bit-identical to serial.
+
+    Parameters
+    ----------
+    chip:
+        The device under test (pickled to workers).
+    seed:
+        Integer base seed (or ``None`` for the library default). Each
+        run's outcome stream derives from ``(seed, chip serial, run
+        signature)``, exactly as in the serial executor.
+    jobs:
+        Worker-process count. ``1`` executes inline with no pool;
+        results are identical at every value.
+
+    The watchdog recovery ladder is campaign-local: every campaign shard
+    gets a fresh :class:`~repro.core.watchdog.Watchdog`, matching a
+    serial loop that builds one executor per campaign.
+    """
+
+    def __init__(self, chip: Chip, seed=None, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {jobs}")
+        self.chip = chip
+        self.jobs = jobs
+        self._seed = resolve_seed(seed)
+        self.store = ResultStore()
+
+    def execute_campaigns(self, campaigns: Iterable[Campaign],
+                          stop_on_unsafe: bool = False) -> List[List[RunRecord]]:
+        """Execute campaigns (one shard each), merging stores in order.
+
+        Returns the per-campaign record lists in campaign order; the
+        merged rows land in :attr:`store`, ordered exactly as a serial
+        per-campaign loop would have appended them.
+        """
+        tasks = [(self.chip, self._seed, campaign, stop_on_unsafe)
+                 for campaign in campaigns]
+        shards = parallel_map(_campaign_shard, tasks, jobs=self.jobs)
+        all_records: List[List[RunRecord]] = []
+        for records, rows in shards:
+            all_records.append(records)
+            self.store.extend(rows)
+        return all_records
+
+    def execute_all(self, campaigns: Iterable[Campaign],
+                    stop_on_unsafe: bool = False) -> List[RunRecord]:
+        """Flat-record variant mirroring the serial executor's API."""
+        return [record
+                for records in self.execute_campaigns(campaigns, stop_on_unsafe)
+                for record in records]

@@ -11,8 +11,7 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import asdict, dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, NamedTuple, Optional
 
 from repro.cpu.outcomes import RunOutcome
 from repro.errors import CampaignError
@@ -30,9 +29,15 @@ def result_fields() -> List[str]:
     return list(RESULT_FIELDS)
 
 
-@dataclass(frozen=True)
-class ResultRow:
-    """One repetition of one characterization run."""
+class ResultRow(NamedTuple):
+    """One repetition of one characterization run.
+
+    A ``NamedTuple`` rather than a frozen dataclass: campaigns create one
+    row per repetition (hundreds of thousands in a full study) and tuple
+    construction is several times cheaper than a frozen dataclass's
+    field-by-field ``object.__setattr__`` path, while keeping the same
+    immutable, by-value-comparable record semantics.
+    """
 
     run_id: int
     benchmark: str
@@ -58,8 +63,16 @@ class ResultStore:
         self._rows.append(row)
 
     def extend(self, rows: Iterable[ResultRow]) -> None:
-        for row in rows:
-            self.append(row)
+        """Bulk-append rows (one list op, not one call per row)."""
+        self._rows.extend(rows)
+
+    def merge(self, other: "ResultStore") -> None:
+        """Absorb every row of ``other``, preserving its row order.
+
+        The parallel campaign engine executes shards in worker processes
+        and folds their stores back together with this.
+        """
+        self._rows.extend(other._rows)
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -98,7 +111,7 @@ class ResultStore:
         writer = csv.DictWriter(buffer, fieldnames=result_fields())
         writer.writeheader()
         for row in self._rows:
-            writer.writerow(asdict(row))
+            writer.writerow(row._asdict())
         return buffer.getvalue()
 
     def write_csv(self, path: str) -> int:

@@ -23,7 +23,7 @@ This module models that plumbing:
 from __future__ import annotations
 
 import zlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.results import ResultRow, ResultStore, result_fields
@@ -33,7 +33,7 @@ from repro.rand import SeedLike, substream
 
 def encode_row(row: ResultRow) -> str:
     """Serialize one row as a CSV line (no header, no newline)."""
-    record = asdict(row)
+    record = row._asdict()
     return ",".join(str(record[name]) for name in result_fields())
 
 

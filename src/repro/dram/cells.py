@@ -23,7 +23,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.dram.geometry import BankAddress, DEFAULT_GEOMETRY, DramGeometry
-from repro.dram.retention import DEFAULT_RETENTION, RetentionModel, _normal_icdf
+from repro.dram.retention import (
+    DEFAULT_RETENTION,
+    RetentionModel,
+    _normal_icdf_array,
+)
 from repro.errors import ConfigurationError
 from repro.rand import SeedLike, substream
 
@@ -127,8 +131,7 @@ class WeakCellMap:
         )
         uniforms = np.clip(self._rng.random(count), 1e-12, 1.0)
         # Conditional tail law, vectorized inverse CDF.
-        z = np.array([_normal_icdf(float(u * tail_p)) for u in uniforms]) \
-            if count else np.empty(0)
+        z = _normal_icdf_array(uniforms * tail_p) if count else np.empty(0)
         params = self.retention.params
         retention_ref = np.exp(params.ln_median_s + params.ln_sigma * z)
         return {
@@ -195,6 +198,22 @@ class WeakCellMap:
             )
             for i in indices
         ]
+
+    def failing_arrays(self, interval_s: float, temp_c: float,
+                       stored_ones: Optional[bool] = None,
+                       coupling: float = 1.0
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Failing cells at a condition, as parallel numpy arrays.
+
+        Returns ``(rows, cols, is_true)`` for the same cells
+        :meth:`failing_cells` would materialize, in the same order --
+        the vectorized view hot paths (the MCU scrub) use to avoid
+        constructing one :class:`WeakCell` object per failing bit.
+        """
+        mask = self._failing_mask(interval_s, temp_c, stored_ones, coupling)
+        arrays = self._arrays()
+        return (arrays["rows"][mask], arrays["cols"][mask],
+                arrays["is_true"][mask])
 
     def unique_locations(self, interval_s: float, temp_c: float) -> int:
         """Unique error locations across the full DPBench suite.

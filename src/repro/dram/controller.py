@@ -13,11 +13,12 @@ each, and reports CE/UE/miscorrection counts.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
-from repro.dram.cells import WeakCell, WeakCellMap
+import numpy as np
+
+from repro.dram.cells import WeakCellMap
 from repro.dram.ecc import DecodeStatus, SecdedCode
 from repro.dram.errors_model import PatternKind
 from repro.dram.geometry import DEFAULT_GEOMETRY, DramGeometry
@@ -96,46 +97,83 @@ class MemoryControlUnit:
             stress_ones, coupling = None, retention.coupling_checker
         else:
             stress_ones, coupling = None, retention.coupling_random
-        failing = weak_map.failing_cells(
+        rows, cols, is_true = weak_map.failing_arrays(
             self._trefp_s, temp_c, stored_ones=stress_ones, coupling=coupling)
         if pattern in (PatternKind.CHECKERBOARD, PatternKind.RANDOM):
             # Non-solid patterns charge about half the weak cells; take
             # the deterministic half by column parity (checker) or a
             # seeded coin implicit in the cell's column (random-like).
-            failing = [c for c in failing
-                       if (c.col + (0 if pattern is PatternKind.CHECKERBOARD
-                                    else c.row)) % 2 == (0 if c.is_true_cell else 1)]
-        return self._decode_failures(failing, now_s)
+            shift = rows if pattern is PatternKind.RANDOM else 0
+            keep = (cols + shift) % 2 == np.where(is_true, 0, 1)
+            rows, cols = rows[keep], cols[keep]
+        return self._decode_failures(rows, cols, now_s)
 
-    def _decode_failures(self, failing: List[WeakCell], now_s: float) -> ScrubResult:
-        by_word: Dict[Tuple[int, int], List[int]] = defaultdict(list)
-        for cell in failing:
-            word_index = (cell.row, cell.col // WORD_DATA_BITS)
-            by_word[word_index].append(cell.col % WORD_DATA_BITS)
-        corrected = uncorrectable = miscorrected = 0
-        true_data = 0  # scrub compares against the known-stored word
-        for (row, word), bits in sorted(by_word.items()):
-            codeword = self._code.encode(true_data)
-            corrupted = self._code.flip_bits(codeword, sorted(set(bits)))
-            result = self._code.decode_with_truth(corrupted, true_data)
-            address = (row << 16) | word
-            if result.status is DecodeStatus.CORRECTED:
-                corrected += 1
-                self._report(now_s, correctable=True, address=address)
-            elif result.status is DecodeStatus.DETECTED_UNCORRECTABLE:
-                uncorrectable += 1
-                self._report(now_s, correctable=False, address=address)
-            elif result.status is DecodeStatus.MISCORRECTED:
-                miscorrected += 1
-            else:  # CLEAN cannot happen for a non-empty flip set
-                raise ConfigurationError("corrupted word decoded as clean")
+    def _decode_failures(self, rows: np.ndarray, cols: np.ndarray,
+                         now_s: float) -> ScrubResult:
+        """Classify every corrupted codeword of the bank in one pass.
+
+        The stored data is all-zero and every failing bit lands in a
+        word's 64 data bits, so the SECDED truth table pins the verdict
+        of the common cases without running the decoder: a word with one
+        distinct failing bit is always corrected, one with two is always
+        a detected double-bit error. Only words with >= 3 distinct
+        failing bits -- where syndrome aliasing decides between a UE and
+        a silent miscorrection -- go through the real code. The counts
+        are bit-identical to decoding every word individually.
+        """
+        raw_bit_errors = int(rows.size)
+        if raw_bit_errors == 0:
+            return ScrubResult(0, 0, 0, 0, 0)
+        # Deduplicate (row, col) and group into (row, word) codewords;
+        # np.unique sorts, matching the scrub's address-ordered readback.
+        cells = np.unique(
+            rows.astype(np.int64) << np.int64(32) | cols.astype(np.int64))
+        cell_cols = cells & np.int64(0xFFFFFFFF)
+        word_keys = ((cells >> np.int64(32)) << np.int64(32)
+                     | cell_cols // WORD_DATA_BITS)
+        words, counts = np.unique(word_keys, return_counts=True)
+        corrected = int(np.count_nonzero(counts == 1))
+        uncorrectable = int(np.count_nonzero(counts == 2))
+        miscorrected = 0
+        multi_status = {}
+        if np.any(counts >= 3):
+            true_data = 0  # scrub compares against the known-stored word
+            starts = np.searchsorted(word_keys, words)
+            for index in np.nonzero(counts >= 3)[0]:
+                lo = starts[index]
+                bits = (cell_cols[lo:lo + counts[index]]
+                        % WORD_DATA_BITS).tolist()
+                codeword = self._code.flip_bits(self._code.encode(true_data),
+                                                sorted(bits))
+                result = self._code.decode_with_truth(codeword, true_data)
+                if result.status is DecodeStatus.DETECTED_UNCORRECTABLE:
+                    uncorrectable += 1
+                elif result.status is DecodeStatus.MISCORRECTED:
+                    miscorrected += 1
+                else:  # >= 3 data-bit flips can never decode clean/corrected
+                    raise ConfigurationError("corrupted word decoded as clean")
+                multi_status[int(words[index])] = result.status
+        if self.slimpro is not None:
+            self._report_words(words, counts, multi_status, now_s)
         return ScrubResult(
-            raw_bit_errors=len(failing),
+            raw_bit_errors=raw_bit_errors,
             corrected_words=corrected,
             uncorrectable_words=uncorrectable,
             miscorrected_words=miscorrected,
-            words_scanned=len(by_word),
+            words_scanned=int(words.size),
         )
+
+    def _report_words(self, words: np.ndarray, counts: np.ndarray,
+                      multi_status, now_s: float) -> None:
+        """Forward per-word CE/UE events to SLIMpro in address order."""
+        for key, count in zip(words.tolist(), counts.tolist()):
+            address = ((key >> 32) << 16) | (key & 0xFFFFFFFF)
+            if count == 1:
+                self._report(now_s, correctable=True, address=address)
+            elif count == 2:
+                self._report(now_s, correctable=False, address=address)
+            elif multi_status[key] is DecodeStatus.DETECTED_UNCORRECTABLE:
+                self._report(now_s, correctable=False, address=address)
 
     def _report(self, now_s: float, correctable: bool, address: int) -> None:
         if self.slimpro is not None:

@@ -31,6 +31,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.units import BOLTZMANN_EV_PER_K, celsius_to_kelvin
@@ -71,6 +74,57 @@ def _normal_icdf(p: float) -> float:
     r = q * q
     return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+
+
+_ACKLAM_A = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+             1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+_ACKLAM_B = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+             6.680131188771972e+01, -1.328068155288572e+01)
+_ACKLAM_C = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+             -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+_ACKLAM_D = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+             3.754408661907416e+00)
+
+
+def _acklam_tail(q: np.ndarray) -> np.ndarray:
+    """Acklam tail branch as a function of ``q = sqrt(-2 ln p)``."""
+    c, d = _ACKLAM_C, _ACKLAM_D
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+def _normal_icdf_array(p: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_normal_icdf` over a float64 array.
+
+    Evaluates the same Acklam branches with the same float64 polynomial
+    arithmetic as the scalar routine (differences are confined to the
+    <= 1 ulp that ``np.log`` may deviate from ``math.log``), turning the
+    per-cell tail sampling of a whole bank into a handful of array ops.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if p.size and (float(p.min()) <= 0.0 or float(p.max()) >= 1.0):
+        bad = p[(p <= 0.0) | (p >= 1.0)][0]
+        raise ConfigurationError(f"probability {bad} outside (0, 1)")
+    out = np.empty_like(p)
+    p_low = 0.02425
+
+    low = p < p_low
+    if low.any():
+        q = np.sqrt(-2.0 * np.log(p[low]))
+        out[low] = _acklam_tail(q)
+    high = p > 1.0 - p_low
+    if high.any():
+        q = np.sqrt(-2.0 * np.log(1.0 - p[high]))
+        out[high] = -_acklam_tail(q)
+    mid = ~(low | high)
+    if mid.any():
+        a, b = _ACKLAM_A, _ACKLAM_B
+        q = p[mid] - 0.5
+        r = q * q
+        out[mid] = \
+            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+            (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    return out
 
 
 @dataclass(frozen=True)
@@ -119,6 +173,37 @@ class RetentionParams:
 DEFAULT_RETENTION = RetentionParams()
 
 
+@lru_cache(maxsize=1024)
+def _cached_acceleration(params: RetentionParams, temp_c: float) -> float:
+    """Memoized Arrhenius factor; see :meth:`RetentionModel.acceleration`.
+
+    ``RetentionParams`` is frozen (hashable), and profiling sweeps ask
+    for the same handful of ``(params, temp)`` pairs hundreds of
+    thousands of times -- once per bank query -- so a small cache
+    removes the repeated ``exp`` from the hot path.
+    """
+    t_ref = celsius_to_kelvin(params.reference_temp_c)
+    t = celsius_to_kelvin(temp_c)
+    exponent = params.activation_ev / BOLTZMANN_EV_PER_K * (1.0 / t_ref - 1.0 / t)
+    return math.exp(exponent)
+
+
+@lru_cache(maxsize=65536)
+def _cached_fail_probability(params: RetentionParams, interval_s: float,
+                             temp_c: float, coupling: float) -> float:
+    """Memoized stressed-cell failure probability.
+
+    Keyed on the full ``(params, interval, temp, coupling)`` condition;
+    every bank of every device queries the same few conditions during a
+    Table-I style sweep.
+    """
+    if interval_s <= 0:
+        raise ConfigurationError("interval must be positive")
+    theta = interval_s * _cached_acceleration(params, temp_c) * coupling
+    z = (math.log(theta) - params.ln_median_s) / params.ln_sigma
+    return _normal_cdf(z)
+
+
 class RetentionModel:
     """Analytic queries over the retention population."""
 
@@ -131,10 +216,7 @@ class RetentionModel:
         > 1 above the reference temperature (retention gets shorter);
         the effective observation threshold scales by this factor.
         """
-        t_ref = celsius_to_kelvin(self.params.reference_temp_c)
-        t = celsius_to_kelvin(temp_c)
-        exponent = self.params.activation_ev / BOLTZMANN_EV_PER_K * (1.0 / t_ref - 1.0 / t)
-        return math.exp(exponent)
+        return _cached_acceleration(self.params, temp_c)
 
     def effective_threshold_s(self, interval_s: float, temp_c: float,
                               coupling: float = 1.0) -> float:
@@ -149,10 +231,13 @@ class RetentionModel:
 
     def fail_probability(self, interval_s: float, temp_c: float,
                          coupling: float = 1.0) -> float:
-        """P(cell retention < effective threshold) for a *stressed* cell."""
-        theta = self.effective_threshold_s(interval_s, temp_c, coupling)
-        z = (math.log(theta) - self.params.ln_median_s) / self.params.ln_sigma
-        return _normal_cdf(z)
+        """P(cell retention < effective threshold) for a *stressed* cell.
+
+        Memoized per ``(params, interval, temp, coupling)`` condition --
+        the per-bank hot path of the Table I sweep.
+        """
+        return _cached_fail_probability(self.params, interval_s, temp_c,
+                                        coupling)
 
     def expected_failures(self, bits: int, interval_s: float, temp_c: float,
                           coupling: float = 1.0,

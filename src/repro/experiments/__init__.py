@@ -27,6 +27,27 @@ from repro.experiments.fig8a_ber import Figure8aResult, run_figure8a
 from repro.experiments.fig8b_refresh_power import Figure8bResult, run_figure8b
 from repro.experiments.fig9_jammer import Figure9Result, run_figure9
 from repro.experiments.stencil_scheduling import StencilResult, run_stencil_study
+from repro.experiments.multiprocess_vmin import (
+    MultiprocessResult,
+    run_multiprocess_study,
+)
+
+#: Experiment id -> driver callable. Every driver accepts ``seed=`` and
+#: returns a result object with ``rows()``/``format()``; the CLI and the
+#: bench harness both enumerate experiments from this single map, so a
+#: new module only needs one entry here to appear everywhere.
+REGISTRY = {
+    "fig4": run_figure4,
+    "fig5": run_figure5,
+    "fig6": run_figure6,
+    "fig7": run_figure7,
+    "table1": run_table1,
+    "fig8a": run_figure8a,
+    "fig8b": run_figure8b,
+    "fig9": run_figure9,
+    "stencil": run_stencil_study,
+    "multiprocess": run_multiprocess_study,
+}
 
 __all__ = [
     "Figure4Result",
@@ -36,6 +57,8 @@ __all__ = [
     "Figure8aResult",
     "Figure8bResult",
     "Figure9Result",
+    "MultiprocessResult",
+    "REGISTRY",
     "StencilResult",
     "Table1Result",
     "run_figure4",
@@ -45,6 +68,7 @@ __all__ = [
     "run_figure8a",
     "run_figure8b",
     "run_figure9",
+    "run_multiprocess_study",
     "run_stencil_study",
     "run_table1",
 ]

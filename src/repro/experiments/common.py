@@ -1,14 +1,27 @@
-"""Shared plumbing for the experiment drivers."""
+"""Shared plumbing for the experiment drivers.
+
+Besides the serial helpers, this module hosts the module-level (and
+therefore picklable) work units the process-parallel experiment drivers
+fan out: each unit rebuilds its reference chip from the integer seed,
+runs one Vmin ladder on a fresh executor, and returns the result. The
+reference parts carry zero manufacturing jitter and every run draws from
+a named ``(seed, chip, run)`` substream, so a unit computes the same
+answer in any process, at any worker count, in any order.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.executor import CampaignExecutor
-from repro.core.vmin import VminSearch
+from repro.core.vmin import VminResult, VminSearch
 from repro.rand import SeedLike
 from repro.soc.corners import ProcessCorner
 from repro.soc.xgene2 import build_reference_chips
+from repro.workloads.base import Workload
+
+#: One parallel work unit: (seed, corner, workload, ladder repetitions).
+VminTask = Tuple[int, ProcessCorner, Workload, int]
 
 
 def reference_executors(seed: SeedLike = None) -> Dict[ProcessCorner, CampaignExecutor]:
@@ -16,6 +29,21 @@ def reference_executors(seed: SeedLike = None) -> Dict[ProcessCorner, CampaignEx
     chips = build_reference_chips(seed=seed)
     return {corner: CampaignExecutor(chip, seed=seed)
             for corner, chip in chips.items()}
+
+
+def vmin_search_unit(task: VminTask) -> VminResult:
+    """Worker body: one (corner, workload) Vmin ladder, self-contained.
+
+    Rebuilds the reference chip for ``task``'s corner from the seed and
+    walks the descending ladder on the strongest core with a fresh
+    executor -- exactly what the serial drivers do, minus any state
+    shared across workloads. Returns the :class:`VminResult`.
+    """
+    seed, corner, workload, repetitions = task
+    chip = build_reference_chips(seed=seed)[corner]
+    search = VminSearch(CampaignExecutor(chip, seed=seed),
+                        repetitions=repetitions)
+    return search.search(workload, cores=(chip.strongest_core(),))
 
 
 def vmin_searches(seed: SeedLike = None, repetitions: int = 10,

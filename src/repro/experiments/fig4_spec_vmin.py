@@ -13,10 +13,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.margins import GuardbandReport, guardband_report
+from repro.core.parallel import parallel_map, resolve_seed
 from repro.core.vmin import VminResult
-from repro.experiments.common import format_table, vmin_searches
+from repro.experiments.common import VminTask, format_table, vmin_search_unit
 from repro.rand import SeedLike
-from repro.soc.corners import NOMINAL_PMD_MV
+from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
 from repro.workloads.spec import spec_suite
 
 #: The paper's reported Vmin ranges (mV) per corner, most robust core.
@@ -82,17 +83,30 @@ class Figure4Result:
         return "\n".join(lines)
 
 
-def run_figure4(seed: SeedLike = None, repetitions: int = 10) -> Figure4Result:
-    """Run the full Figure 4 campaign on the three reference parts."""
-    searches = vmin_searches(seed=seed, repetitions=repetitions)
+def run_figure4(seed: SeedLike = None, repetitions: int = 10,
+                jobs: int = 1) -> Figure4Result:
+    """Run the full Figure 4 campaign on the three reference parts.
+
+    The 3 chips x 10 programs = 30 Vmin ladders are independent work
+    units; ``jobs > 1`` shards them across a process pool with results
+    identical to ``jobs=1`` at any worker count.
+    """
+    base = resolve_seed(seed) if jobs > 1 else seed
     suite = spec_suite()
+    tasks: List[VminTask] = [(base, corner, workload, repetitions)
+                             for corner in ProcessCorner
+                             for workload in suite]
+    results: List[VminResult] = parallel_map(vmin_search_unit, tasks, jobs=jobs)
     vmin_mv: Dict[str, Dict[str, float]] = {}
     reports: Dict[str, GuardbandReport] = {}
-    for corner, search in searches.items():
-        chip = search.executor.chip
-        core = chip.strongest_core()
-        results: List[VminResult] = search.search_suite(suite, cores=(core,))
-        vmin_mv[corner.value] = {r.workload: r.safe_vmin_mv for r in results}
+    for index, corner in enumerate(ProcessCorner):
+        corner_results = results[index * len(suite):(index + 1) * len(suite)]
+        vmin_mv[corner.value] = {r.workload: r.safe_vmin_mv
+                                 for r in corner_results}
         reports[corner.value] = guardband_report(
-            chip.serial, corner.value, results)
+            f"{corner.value}-ref", corner.value, corner_results)
     return Figure4Result(vmin_mv=vmin_mv, reports=reports)
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_figure4

@@ -132,3 +132,7 @@ def run_figure5(seed: SeedLike = None, repetitions: int = 10) -> Figure5Result:
         predicted_mix_vmin_mv=predicted,
         predictor_report=report,
     )
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_figure5

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.vmin import VminSearch
-from repro.experiments.common import format_table, vmin_searches
+from repro.core.parallel import parallel_map, resolve_seed
+from repro.core.vmin import VminResult
+from repro.experiments.common import VminTask, format_table, vmin_search_unit
 from repro.rand import SeedLike
 from repro.soc.corners import ProcessCorner
 from repro.viruses.didt import DidtVirus, evolve_didt_virus
@@ -77,20 +78,28 @@ class Figure6Result:
 
 
 def run_figure6(seed: SeedLike = None, repetitions: int = 10,
-                generations: int = 25, population: int = 32) -> Figure6Result:
-    """Evolve the virus and compare against NAS on the TTT part."""
-    searches = vmin_searches(seed=seed, repetitions=repetitions)
-    search: VminSearch = searches[ProcessCorner.TTT]
-    chip = search.executor.chip
-    core = chip.strongest_core()
+                generations: int = 25, population: int = 32,
+                jobs: int = 1) -> Figure6Result:
+    """Evolve the virus and compare against NAS on the TTT part.
 
+    The GA evolves in the parent process (it is inherently sequential);
+    the virus-plus-NAS Vmin ladders then fan out as independent units
+    when ``jobs > 1``, with results identical to the serial pass.
+    """
     virus = evolve_didt_virus(seed=seed, generations=generations,
                               population=population)
-    virus_result = search.search(virus_as_workload(virus), cores=(core,))
-    nas_results = search.search_suite(nas_suite(), cores=(core,))
+    base = resolve_seed(seed) if jobs > 1 else seed
+    workloads = [virus_as_workload(virus)] + list(nas_suite())
+    tasks: List[VminTask] = [(base, ProcessCorner.TTT, workload, repetitions)
+                             for workload in workloads]
+    results: List[VminResult] = parallel_map(vmin_search_unit, tasks, jobs=jobs)
     return Figure6Result(
         corner=ProcessCorner.TTT.value,
         virus=virus,
-        virus_vmin_mv=virus_result.safe_vmin_mv,
-        nas_vmin_mv={r.workload: r.safe_vmin_mv for r in nas_results},
+        virus_vmin_mv=results[0].safe_vmin_mv,
+        nas_vmin_mv={r.workload: r.safe_vmin_mv for r in results[1:]},
     )
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_figure6

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import format_table, vmin_searches
+from repro.core.parallel import parallel_map, resolve_seed
+from repro.experiments.common import VminTask, format_table, vmin_search_unit
 from repro.experiments.fig6_virus_vs_nas import virus_as_workload
 from repro.rand import SeedLike
 from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
@@ -61,15 +62,27 @@ class Figure7Result:
 
 
 def run_figure7(seed: SeedLike = None, repetitions: int = 10,
-                generations: int = 25, population: int = 32) -> Figure7Result:
-    """Evolve one virus and measure it on all three reference parts."""
+                generations: int = 25, population: int = 32,
+                jobs: int = 1) -> Figure7Result:
+    """Evolve one virus and measure it on all three reference parts.
+
+    The virus evolves once in the parent; the three per-chip ladders are
+    independent units that fan out across processes when ``jobs > 1``,
+    bit-identical to the serial pass.
+    """
     virus = evolve_didt_virus(seed=seed, generations=generations,
                               population=population)
     workload = virus_as_workload(virus)
-    searches = vmin_searches(seed=seed, repetitions=repetitions)
-    vmin_mv: Dict[str, float] = {}
-    for corner, search in searches.items():
-        core = search.executor.chip.strongest_core()
-        result = search.search(workload, cores=(core,))
-        vmin_mv[corner.value] = result.safe_vmin_mv
+    base = resolve_seed(seed) if jobs > 1 else seed
+    tasks: List[VminTask] = [(base, corner, workload, repetitions)
+                             for corner in ProcessCorner]
+    results = parallel_map(vmin_search_unit, tasks, jobs=jobs)
+    vmin_mv: Dict[str, float] = {
+        corner.value: result.safe_vmin_mv
+        for corner, result in zip(ProcessCorner, results)
+    }
     return Figure7Result(virus=virus, virus_vmin_mv=vmin_mv)
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_figure7

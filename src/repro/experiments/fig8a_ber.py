@@ -95,3 +95,7 @@ def run_figure8a(seed: SeedLike = None, temp_c: float = 60.0,
         pattern_ber=pattern_ber,
         workload_ber=workload_ber,
     )
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_figure8a

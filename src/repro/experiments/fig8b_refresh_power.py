@@ -75,3 +75,7 @@ def run_figure8b(seed: SeedLike = None,
             bandwidth, relaxed_trefp_s) * 100.0
     return Figure8bResult(savings_pct=savings, nominal_w=nominal,
                           relaxed_w=relaxed)
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_figure8b

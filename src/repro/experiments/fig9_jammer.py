@@ -123,3 +123,7 @@ def run_figure9(seed: SeedLike = None, repetitions: int = 10,
     detection = detector.run(duration_s=2.0, burst_rate_hz=2.0,
                              processing_slowdown=1.0)
     return Figure9Result(point=point, power=power, detection=detection)
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_figure9

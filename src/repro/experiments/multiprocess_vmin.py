@@ -116,3 +116,7 @@ def run_multiprocess_study(seed: SeedLike = None,
         multi_vmin_mv=multi,
         hetero_mix_vmin_mv=hetero_result.safe_vmin_mv,
     )
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_multiprocess_study

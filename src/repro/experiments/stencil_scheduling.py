@@ -78,3 +78,7 @@ def run_stencil_study(seed: SeedLike = None, grid_rows: int = 4096,
         natural_relative_ber=natural_ber,
         blocked_relative_ber=blocked_ber,
     )
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_stencil_study

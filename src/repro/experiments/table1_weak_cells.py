@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.core.parallel import parallel_map, resolve_seed
 from repro.dram.cells import DramDevicePopulation
 from repro.dram.controller import MemoryControlUnit, ScrubResult
 from repro.dram.geometry import DEFAULT_GEOMETRY
@@ -113,38 +114,28 @@ def _merge_scrubs(results: List[ScrubResult]) -> ScrubResult:
     )
 
 
-def run_table1(seed: SeedLike = None,
-               temps_c: Tuple[float, float] = (50.0, 60.0),
-               sample_devices: int = 72,
-               regulate: bool = True) -> Table1Result:
-    """Profile the population at both setpoints.
+def _profile_device_chunk(task: Tuple[int, Tuple[int, ...], Tuple[float, ...]]
+                          ) -> Dict[float, Tuple[List[int], List[int],
+                                                 List[ScrubResult]]]:
+    """Worker body: profile a contiguous chunk of devices.
 
-    ``regulate=True`` actually runs the PID testbed to each setpoint
-    first and requires it to hold within 1 degC -- exercising the full
-    measurement chain the paper used. Every device's banks pass through
-    the real SECDED scrub; the verdict aggregates all of them.
+    Rebuilds the device population from the integer seed (every bank's
+    weak-cell map draws from a ``weakcells-d{dev}-b{bank}`` substream, so
+    a bank samples identically in any process) and returns, per
+    temperature, the chunk's bank totals, per-device totals, and SECDED
+    scrub results in device order.
     """
+    seed, devices, temps = task
     geometry = DEFAULT_GEOMETRY
-    sample_devices = min(sample_devices, geometry.num_devices)
     population = DramDevicePopulation(geometry=geometry, seed=seed)
     mcu = MemoryControlUnit(index=0, geometry=geometry,
                             trefp_s=RELAXED_REFRESH_S)
-    regulation_ok = True
-    if regulate:
-        testbed = ThermalTestbed([ZoneConfig(setpoint_c=temps_c[0])], seed=seed)
-        for temp in temps_c:
-            testbed.set_setpoint(0, temp)
-            reports = testbed.run(900.0)
-            regulation_ok = regulation_ok and reports[0].within_one_degree
-
-    counts: Dict[float, Tuple[int, ...]] = {}
-    per_chip: Dict[float, Tuple[int, ...]] = {}
-    scrubs: Dict[float, ScrubResult] = {}
-    for temp in temps_c:
+    out: Dict[float, Tuple[List[int], List[int], List[ScrubResult]]] = {}
+    for temp in temps:
         bank_totals = [0] * geometry.banks_per_device
-        chip_totals = []
+        chip_totals: List[int] = []
         device_scrubs: List[ScrubResult] = []
-        for dev in range(sample_devices):
+        for dev in devices:
             per_bank = population.device_unique_locations(
                 dev, RELAXED_REFRESH_S, temp)
             chip_totals.append(sum(per_bank))
@@ -153,6 +144,67 @@ def run_table1(seed: SeedLike = None,
             for bank in range(geometry.banks_per_device):
                 device_scrubs.append(
                     mcu.scrub_bank(population.bank_map(dev, bank), temp))
+        out[temp] = (bank_totals, chip_totals, device_scrubs)
+    return out
+
+
+def _device_chunks(sample_devices: int, jobs: int) -> List[Tuple[int, ...]]:
+    """Contiguous device-index chunks, one per worker slot.
+
+    Chunks stay in ascending device order so concatenating chunk results
+    reproduces the serial per-device ordering exactly.
+    """
+    chunk_count = max(1, min(jobs, sample_devices))
+    size = -(-sample_devices // chunk_count)  # ceil division
+    return [tuple(range(lo, min(lo + size, sample_devices)))
+            for lo in range(0, sample_devices, size)]
+
+
+def run_table1(seed: SeedLike = None,
+               temps_c: Tuple[float, float] = (50.0, 60.0),
+               sample_devices: int = 72,
+               regulate: bool = True,
+               jobs: int = 1) -> Table1Result:
+    """Profile the population at both setpoints.
+
+    ``regulate=True`` actually runs the PID testbed to each setpoint
+    first and requires it to hold within 1 degC -- exercising the full
+    measurement chain the paper used. Every device's banks pass through
+    the real SECDED scrub; the verdict aggregates all of them.
+
+    ``jobs > 1`` shards the 72-device profiling across a process pool in
+    contiguous device chunks; per-bank sampling is substream-seeded per
+    (device, bank), so the merged totals are identical to the serial
+    pass at any worker count. Thermal regulation stays in the parent.
+    """
+    geometry = DEFAULT_GEOMETRY
+    sample_devices = min(sample_devices, geometry.num_devices)
+    regulation_ok = True
+    if regulate:
+        testbed = ThermalTestbed([ZoneConfig(setpoint_c=temps_c[0])], seed=seed)
+        for temp in temps_c:
+            testbed.set_setpoint(0, temp)
+            reports = testbed.run(900.0)
+            regulation_ok = regulation_ok and reports[0].within_one_degree
+
+    base = resolve_seed(seed) if jobs > 1 else seed
+    tasks = [(base, chunk, tuple(temps_c))
+             for chunk in _device_chunks(sample_devices, jobs)]
+    shards = parallel_map(_profile_device_chunk, tasks, jobs=jobs)
+
+    counts: Dict[float, Tuple[int, ...]] = {}
+    per_chip: Dict[float, Tuple[int, ...]] = {}
+    scrubs: Dict[float, ScrubResult] = {}
+    for temp in temps_c:
+        bank_totals = [0] * geometry.banks_per_device
+        chip_totals: List[int] = []
+        device_scrubs: List[ScrubResult] = []
+        for shard in shards:
+            shard_banks, shard_chips, shard_scrubs = shard[temp]
+            for bank, value in enumerate(shard_banks):
+                bank_totals[bank] += value
+            chip_totals.extend(shard_chips)
+            device_scrubs.extend(shard_scrubs)
         counts[temp] = tuple(bank_totals)
         per_chip[temp] = tuple(chip_totals)
         scrubs[temp] = _merge_scrubs(device_scrubs)
@@ -162,3 +214,7 @@ def run_table1(seed: SeedLike = None,
         scrubs=scrubs,
         regulation_ok=regulation_ok,
     )
+
+
+#: Uniform entry point: every experiment module exposes ``run(seed=...)``.
+run = run_table1

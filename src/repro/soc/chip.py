@@ -16,7 +16,7 @@ framework asks of hardware:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,51 @@ FAILURE_ONSET_BAND_MV = 6.0
 #: Below Vmin by more than this, the part no longer produces correctable
 #: errors -- it crashes or hangs outright.
 HARD_CRASH_DEPTH_MV = 12.0
+
+#: Integer outcome codes used by the batched sampling path, ordered by
+#: severity so that ``max`` over cores picks the worst outcome of a
+#: repetition. ``OUTCOME_FROM_CODE[code]`` maps back to the enum.
+OUTCOME_FROM_CODE: tuple = (
+    RunOutcome.CORRECT,
+    RunOutcome.CORRECTED_ERROR,
+    RunOutcome.UNCORRECTED_ERROR,
+    RunOutcome.SDC,
+    RunOutcome.CRASH,
+    RunOutcome.HANG,
+)
+
+#: Reverse map: outcome enum -> severity-ordered integer code.
+CODE_FROM_OUTCOME = {outcome: code for code, outcome in enumerate(OUTCOME_FROM_CODE)}
+
+_CODE_CORRECT, _CODE_CE, _CODE_UE, _CODE_SDC, _CODE_CRASH, _CODE_HANG = range(6)
+
+#: Cap on the per-chip Vmin memo; cleared wholesale when exceeded so
+#: adversarial swing sweeps (GA populations) cannot grow it unboundedly.
+_VMIN_CACHE_LIMIT = 65536
+
+
+def _classify_uniforms(margin: float, uniforms: np.ndarray,
+                       sdc_bias: float) -> np.ndarray:
+    """Vectorized outcome classification for one operating margin.
+
+    ``uniforms`` holds one U(0,1) draw per repetition; the branch taken
+    (onset band / mid band / deep violation) is a pure function of the
+    margin, so a whole column of repetitions classifies in one numpy
+    pass. Bit-compatible with the scalar :meth:`Chip.observe_run` logic:
+    the same draw produces the same outcome.
+    """
+    if margin >= 0.0:
+        # Onset band: probabilistic correctable errors only.
+        fail_p = 1.0 - margin / FAILURE_ONSET_BAND_MV
+        return np.where(uniforms < 0.5 * fail_p, _CODE_CE, _CODE_CORRECT)
+    depth = -margin
+    if depth >= HARD_CRASH_DEPTH_MV:
+        return np.where(uniforms < 0.3, _CODE_HANG, _CODE_CRASH)
+    crash_p = depth / HARD_CRASH_DEPTH_MV * 0.5
+    codes = np.full(uniforms.shape, _CODE_UE, dtype=np.int64)
+    codes[uniforms < crash_p + (1.0 - crash_p) * sdc_bias] = _CODE_SDC
+    codes[uniforms < crash_p] = _CODE_CRASH
+    return codes
 
 
 @dataclass(frozen=True)
@@ -92,6 +137,9 @@ class Chip:
         self._core_offsets_mv = tuple(
             base + extra for base, extra in zip(self.params.core_offsets_mv, jitter)
         )
+        # Memo of (core, swing, freq) -> Vmin. The decomposition is
+        # frozen at construction, so entries never invalidate.
+        self._vmin_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Oracle interface
@@ -119,9 +167,21 @@ class Chip:
 
     def vmin_mv(self, core: CoreId, swing: float,
                 freq_ghz: float = NOMINAL_FREQ_GHZ) -> float:
-        """True Vmin (mV) of ``core`` for a workload with ``swing``."""
-        model = self.core_model(core, freq_ghz)
-        return model.vmin_mv(self.droop_mv(swing, freq_ghz))
+        """True Vmin (mV) of ``core`` for a workload with ``swing``.
+
+        Memoized per ``(core, swing, freq)``: the decomposition is fixed
+        at construction, and the campaign engine queries the same few
+        operating points thousands of times per voltage ladder.
+        """
+        key = (core.linear, swing, freq_ghz)
+        cached = self._vmin_cache.get(key)
+        if cached is None:
+            model = self.core_model(core, freq_ghz)
+            cached = model.vmin_mv(self.droop_mv(swing, freq_ghz))
+            if len(self._vmin_cache) >= _VMIN_CACHE_LIMIT:
+                self._vmin_cache.clear()
+            self._vmin_cache[key] = cached
+        return cached
 
     def strongest_core(self, freq_ghz: float = NOMINAL_FREQ_GHZ) -> CoreId:
         """The paper's "most robust core": lowest offset on this part."""
@@ -186,6 +246,51 @@ class Chip:
         if roll < crash_p + (1.0 - crash_p) * sdc_bias:
             return RunOutcome.SDC
         return RunOutcome.UNCORRECTED_ERROR
+
+    def observe_runs(self, core: CoreId, swing: float, voltage_mv: float,
+                     freq_ghz: float = NOMINAL_FREQ_GHZ, n: int = 1,
+                     sdc_bias: float = 0.25,
+                     rng: Optional[np.random.Generator] = None) -> List[RunOutcome]:
+        """Sample ``n`` repetition outcomes for one core in one numpy pass.
+
+        Draw-for-draw identical to calling :meth:`observe_run` ``n``
+        times with the same generator: the failure-mode branch is a pure
+        function of the operating margin, so all ``n`` uniforms are
+        drawn in a single batch and classified vectorized.
+        """
+        codes = self.observe_run_block(
+            (core,), swing, voltage_mv, freq_ghz=freq_ghz, repetitions=n,
+            sdc_bias=sdc_bias, rng=rng,
+        )
+        return [OUTCOME_FROM_CODE[int(code)] for code in codes[:, 0]]
+
+    def observe_run_block(self, cores: Sequence[CoreId], swing: float,
+                          voltage_mv: float,
+                          freq_ghz: float = NOMINAL_FREQ_GHZ,
+                          repetitions: int = 1, sdc_bias: float = 0.25,
+                          rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Sample a whole characterization run as one outcome-code matrix.
+
+        Returns an ``(repetitions, len(cores))`` array of severity codes
+        (see :data:`OUTCOME_FROM_CODE`). The draw order reproduces the
+        scalar nested loop exactly -- repetition-major, core-minor, one
+        uniform per core whose margin sits below the onset-band ceiling
+        -- so the batched path is bit-identical to looping
+        :meth:`observe_run` over repetitions and cores.
+        """
+        rng = rng if rng is not None else self._run_rng
+        margins = [voltage_mv - self.vmin_mv(core, swing, freq_ghz)
+                   for core in cores]
+        codes = np.zeros((repetitions, len(cores)), dtype=np.int64)
+        drawing = [index for index, margin in enumerate(margins)
+                   if margin < FAILURE_ONSET_BAND_MV]
+        if drawing and repetitions:
+            uniforms = rng.random(repetitions * len(drawing))
+            uniforms = uniforms.reshape(repetitions, len(drawing))
+            for column, index in enumerate(drawing):
+                codes[:, index] = _classify_uniforms(
+                    margins[index], uniforms[:, column], sdc_bias)
+        return codes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Chip {self.serial} corner={self.corner.value}>"

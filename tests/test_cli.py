@@ -3,6 +3,9 @@
 import pytest
 
 from repro.__main__ import main
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 
 def test_list_prints_experiments(capsys):

@@ -1,9 +1,11 @@
 """Memory-control-unit scrub path: weak cells -> real ECC -> reports."""
 
+import numpy as np
 import pytest
 
 from repro.dram.cells import WeakCellMap
 from repro.dram.controller import MemoryControlUnit
+from repro.dram.ecc import DecodeStatus, SecdedCode
 from repro.dram.errors_model import PatternKind
 from repro.dram.geometry import BankAddress
 from repro.errors import ConfigurationError
@@ -79,3 +81,38 @@ def test_mcu_without_slimpro_still_scrubs(weak_map):
 def test_invalid_mcu_index():
     with pytest.raises(ConfigurationError):
         MemoryControlUnit(-1)
+
+
+def test_decode_failures_multibit_words_use_real_decoder(slimpro):
+    """The vectorized scrub agrees with the SECDED code on every arity.
+
+    One word per arity: a single flip (always corrected), a double flip
+    (always detected-uncorrectable), an aliasing triple (silent
+    miscorrection -- no report), a detected triple (UE report), and a
+    duplicated cell that dedups back to a single flip. Reports must
+    arrive in ascending (row, word) address order.
+    """
+    code = SecdedCode()
+    # (0,1,2) aliases to a correctable-looking word; (0,4,57) is a
+    # detected-uncorrectable triple. Double-check both against the code.
+    mis, ue3 = (0, 1, 2), (0, 4, 57)
+    assert code.decode_with_truth(
+        code.flip_bits(code.encode(0), list(mis)), 0
+    ).status is DecodeStatus.MISCORRECTED
+    assert code.decode_with_truth(
+        code.flip_bits(code.encode(0), list(ue3)), 0
+    ).status is DecodeStatus.DETECTED_UNCORRECTABLE
+
+    rows = [5] * 3 + [5] * 3 + [2, 2, 2, 9, 9]
+    cols = list(mis) + [64 + b for b in ue3] + [7, 65, 73, 3, 3]
+    mcu = MemoryControlUnit(0, slimpro, trefp_s=RELAXED_REFRESH_S)
+    result = mcu._decode_failures(np.array(rows), np.array(cols), now_s=1.0)
+    assert result.raw_bit_errors == len(rows)
+    assert result.corrected_words == 2       # (2,0) single, (9,0) deduped
+    assert result.uncorrectable_words == 2   # (2,1) double, (5,1) triple
+    assert result.miscorrected_words == 1    # (5,0) aliased triple
+    assert result.words_scanned == 5
+    assert [(e.correctable, e.address) for e in slimpro.ecc_events()] == [
+        (True, (2 << 16) | 0), (False, (2 << 16) | 1),
+        (False, (5 << 16) | 1), (True, (9 << 16) | 0),
+    ]

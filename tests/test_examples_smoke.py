@@ -9,6 +9,9 @@ import subprocess
 import sys
 
 import pytest
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
 

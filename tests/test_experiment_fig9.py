@@ -9,6 +9,9 @@ from repro.experiments.fig9_jammer import (
     run_figure9,
 )
 
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 SEED = 1
 
 

@@ -3,6 +3,11 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.dram.ecc import CODE_BITS, DATA_BITS, DecodeStatus, SecdedCode
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 CODE = SecdedCode()
 

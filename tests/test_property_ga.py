@@ -5,6 +5,11 @@ from hypothesis import given, settings, strategies as st
 from repro.cpu.isa import GA_ALPHABET, InstrClass
 from repro.cpu.kernels import MAX_LOOP_LEN, MIN_LOOP_LEN, InstructionLoop
 from repro.viruses.genetic import GaConfig, GeneticAlgorithm
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 instr = st.sampled_from(list(InstrClass))
 loop_bodies = st.lists(instr, min_size=MIN_LOOP_LEN, max_size=64)

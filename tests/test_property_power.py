@@ -4,6 +4,11 @@ from hypothesis import assume, given, settings, strategies as st
 
 from repro.dram.power import DramPowerModel
 from repro.soc.power import CorePowerModel, multicore_relative_power
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 voltages = st.floats(min_value=700.0, max_value=1050.0,
                      allow_nan=False, allow_infinity=False)

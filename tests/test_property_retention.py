@@ -5,6 +5,11 @@ import math
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.dram.retention import RetentionModel, _normal_cdf, _normal_icdf
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 MODEL = RetentionModel()
 

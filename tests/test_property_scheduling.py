@@ -6,6 +6,11 @@ from repro.analysis.scheduling import plan_naive, plan_placement
 from repro.soc.chip import Chip
 from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
 from repro.workloads.spec import SPEC_WORKLOADS
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 _CHIP = Chip(ProcessCorner.TTT, seed=1, jitter_sigma_mv=0.0)
 _NAMES = sorted(SPEC_WORKLOADS)

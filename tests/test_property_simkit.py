@@ -4,6 +4,11 @@ from hypothesis import assume, given, settings, strategies as st
 
 from repro.dram.refresh import AccessTrace, RefreshController
 from repro.simkit import Simulator
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 delays = st.lists(st.floats(min_value=0.0, max_value=100.0,
                             allow_nan=False, allow_infinity=False),

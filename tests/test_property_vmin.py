@@ -8,6 +8,11 @@ from repro.soc.chip import Chip
 from repro.soc.corners import CORNER_PARAMS, NOMINAL_PMD_MV, ProcessCorner
 from repro.soc.topology import CoreId
 from repro.workloads.base import CpuWorkload, Workload
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 swings = st.floats(min_value=0.0, max_value=1.0,
                    allow_nan=False, allow_infinity=False)

@@ -3,6 +3,9 @@
 import pytest
 
 from repro.analysis.reporting import ReproductionReport, SectionResult, build_report
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
 
 
 @pytest.fixture(scope="module")
