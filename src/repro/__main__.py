@@ -3,13 +3,20 @@
 Usage::
 
     python -m repro list
-    python -m repro run fig4 [--seed N] [--fast] [--jobs N]
+    python -m repro run fig4 [--seed N] [--fast] [--jobs N] [--faults N]
     python -m repro run all  [--seed N] [--fast] [--jobs N]
+    python -m repro pipeline [--jobs N] [--faults N] [--resume DIR]
 
 ``--fast`` trims repetitions/GA budgets for a quick smoke pass;
 ``--jobs`` fans the shardable experiments (fig4/fig6/fig7/table1) out
 across worker processes -- results are bit-identical at any worker
-count. The default settings match the benches.
+count. ``--faults SEED`` injects a deterministic worker-failure
+schedule into the shardable experiments (killed units re-execute;
+results are unchanged). The default settings match the benches.
+
+``pipeline`` exercises the full execution -> transport -> cloud result
+pipeline under injected faults and checkpoint/resume; an interrupted
+study exits with code 3 and resumes from ``--resume DIR``.
 
 Experiment ids come from :data:`repro.experiments.REGISTRY`; the lambdas
 below only adapt per-experiment budget knobs to the shared flags.
@@ -29,30 +36,61 @@ def _experiments() -> Dict[str, Callable]:
     from repro.experiments import REGISTRY
 
     def plain(name):
-        return lambda seed, fast, jobs: REGISTRY[name](seed=seed)
+        return lambda seed, fast, jobs, faults: REGISTRY[name](seed=seed)
 
     adapters = {
-        "fig4": lambda seed, fast, jobs: REGISTRY["fig4"](
-            seed=seed, repetitions=3 if fast else 10, jobs=jobs),
-        "fig5": lambda seed, fast, jobs: REGISTRY["fig5"](
+        "fig4": lambda seed, fast, jobs, faults: REGISTRY["fig4"](
+            seed=seed, repetitions=3 if fast else 10, jobs=jobs,
+            faults=faults),
+        "fig5": lambda seed, fast, jobs, faults: REGISTRY["fig5"](
             seed=seed, repetitions=3 if fast else 10),
-        "fig6": lambda seed, fast, jobs: REGISTRY["fig6"](
+        "fig6": lambda seed, fast, jobs, faults: REGISTRY["fig6"](
             seed=seed, repetitions=3 if fast else 10,
             generations=8 if fast else 25, population=16 if fast else 32,
-            jobs=jobs),
-        "fig7": lambda seed, fast, jobs: REGISTRY["fig7"](
+            jobs=jobs, faults=faults),
+        "fig7": lambda seed, fast, jobs, faults: REGISTRY["fig7"](
             seed=seed, repetitions=3 if fast else 10,
             generations=8 if fast else 25, population=16 if fast else 32,
-            jobs=jobs),
-        "table1": lambda seed, fast, jobs: REGISTRY["table1"](
+            jobs=jobs, faults=faults),
+        "table1": lambda seed, fast, jobs, faults: REGISTRY["table1"](
             seed=seed, regulate=not fast,
-            sample_devices=24 if fast else 72, jobs=jobs),
-        "fig9": lambda seed, fast, jobs: REGISTRY["fig9"](
+            sample_devices=24 if fast else 72, jobs=jobs, faults=faults),
+        "fig9": lambda seed, fast, jobs, faults: REGISTRY["fig9"](
             seed=seed, repetitions=3 if fast else 10),
-        "multiprocess": lambda seed, fast, jobs: REGISTRY["multiprocess"](
-            seed=seed, repetitions=3 if fast else 5),
+        "multiprocess": lambda seed, fast, jobs, faults: REGISTRY[
+            "multiprocess"](seed=seed, repetitions=3 if fast else 5),
     }
     return {name: adapters.get(name, plain(name)) for name in REGISTRY}
+
+
+def _run_pipeline(args) -> int:
+    from repro.errors import CampaignInterrupted
+    from repro.experiments.pipeline import run_pipeline
+
+    try:
+        result = run_pipeline(
+            seed=args.seed,
+            benchmarks=2 if args.fast else 4,
+            repetitions=2 if args.fast else 3,
+            jobs=args.jobs,
+            transport=args.transport,
+            faults=args.faults,
+            resume_dir=args.resume,
+            out_csv=args.out,
+        )
+    except CampaignInterrupted as exc:
+        print(f"pipeline interrupted: {exc}", file=sys.stderr)
+        if args.resume:
+            print(f"rerun with --resume {args.resume} to finish the "
+                  "remaining shards", file=sys.stderr)
+        else:
+            print("rerun with --resume DIR to make interruptions "
+                  "recoverable", file=sys.stderr)
+        return 3
+    print(result.format())
+    if args.out:
+        print(f"cloud-side rows written to {args.out}")
+    return 0 if result.exactly_once else 1
 
 
 def main(argv=None) -> int:
@@ -71,6 +109,29 @@ def main(argv=None) -> int:
     runner.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the shardable "
                         "experiments (results identical at any count)")
+    runner.add_argument("--faults", type=int, default=None, metavar="SEED",
+                        help="inject a deterministic worker-failure "
+                        "schedule seeded by SEED into the shardable "
+                        "experiments (results are unchanged)")
+    pipe = sub.add_parser(
+        "pipeline", help="run the execution -> transport -> cloud result "
+        "pipeline, optionally under injected faults and checkpoint/resume")
+    pipe.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    pipe.add_argument("--fast", action="store_true",
+                      help="smaller campaign set for a quick pass")
+    pipe.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for campaign shards")
+    pipe.add_argument("--transport", choices=("network", "serial"),
+                      default="network", help="lossy link to upload through")
+    pipe.add_argument("--faults", type=int, default=None, metavar="SEED",
+                      help="inject a deterministic fault schedule (worker "
+                      "kills, spurious escalations, transport bursts, "
+                      "study interruption) seeded by SEED")
+    pipe.add_argument("--resume", default=None, metavar="DIR",
+                      help="checkpoint directory: completed campaign "
+                      "shards persist here and are not re-executed on rerun")
+    pipe.add_argument("--out", default=None, metavar="CSV",
+                      help="write the cloud-side result rows to this CSV")
     reporter = sub.add_parser(
         "report", help="run every experiment and render the full "
         "paper-vs-measured reproduction report")
@@ -88,10 +149,12 @@ def main(argv=None) -> int:
         report = build_report(seed=args.seed, fast=args.fast)
         print(report.render())
         return 0 if report.all_passed else 1
-
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.command == "pipeline":
+        return _run_pipeline(args)
+
     targets = list(experiments) if args.experiment == "all" \
         else [args.experiment]
     unknown = [t for t in targets if t not in experiments]
@@ -101,7 +164,8 @@ def main(argv=None) -> int:
         return 2
     for name in targets:
         start = time.perf_counter()
-        result = experiments[name](args.seed, args.fast, args.jobs)
+        result = experiments[name](args.seed, args.fast, args.jobs,
+                                   args.faults)
         elapsed = time.perf_counter() - start
         print("=" * 72)
         print(result.format())

@@ -37,6 +37,13 @@ from repro.core.failure_prob import (
     FailureProbabilityModel,
     idle_vmin_mv,
 )
+from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.faults import (
+    FaultBurst,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
 from repro.core.framework import CharacterizationFramework, ChipStudy
 from repro.core.governor import GovernorReport, VoltageGovernor
 from repro.core.executor import CampaignExecutor, RunRecord
@@ -59,9 +66,14 @@ from repro.core.predictor import VminPredictor, PredictorReport
 __all__ = [
     "AttributionReport",
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignExecutor",
     "CampaignPlan",
     "CampaignScheduler",
+    "FaultBurst",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "CharacterizationFramework",
     "CharacterizationRun",
     "CharacterizationSetup",

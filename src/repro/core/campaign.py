@@ -72,6 +72,17 @@ class CharacterizationRun:
         """
         return f"{self.workload.name}@{self.setup.stream_key()}"
 
+    def global_key(self, chip_serial: str) -> str:
+        """Globally unique run identity for the result pipeline.
+
+        ``chip serial + campaign (benchmark) + run signature``: unlike
+        ``run_id`` -- which restarts at every plan or Vmin search -- this
+        key stays unique across campaigns and chips, so the cloud store
+        can deduplicate retransmissions without ever confusing rows from
+        different studies (see :class:`repro.core.transport.CloudStore`).
+        """
+        return f"{chip_serial}/{self.workload.name}/{self.setup.stream_key()}"
+
 
 @dataclass(frozen=True)
 class Campaign:

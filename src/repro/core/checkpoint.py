@@ -1,0 +1,129 @@
+"""Campaign checkpoint/resume: persist completed shards to disk.
+
+A full characterization study is hours of wall time (the paper calls the
+campaigns "particularly time-consuming"), and the machine running the
+harness is itself being crashed on purpose -- so an interrupted
+``--jobs N`` study must not re-execute the shards that already finished.
+
+:class:`CampaignCheckpoint` stores one CSV of result rows plus one JSON
+manifest per completed campaign shard, keyed by a content-addressed
+token derived from the shard's global run identities (chip serial +
+campaign + every run signature). The manifest is written *after* the
+rows, so a manifest's existence is the commit point: a crash mid-write
+leaves a stray ``.csv`` that resume simply re-executes.
+
+Because shard execution is deterministic (seeded substreams per run) and
+the CSV codec round-trips floats exactly (``repr`` precision), a resumed
+study reproduces the interrupted study's rows bit-for-bit -- the
+property the checkpoint tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List
+
+from repro.core.campaign import Campaign
+from repro.core.results import ResultRow, ResultStore
+from repro.errors import CampaignError
+
+
+def _fs_safe(name: str) -> str:
+    """A filesystem-safe rendering of a campaign name."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+
+
+class CampaignCheckpoint:
+    """Per-shard CSV + manifest persistence under one directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shard_token(chip_serial: str, campaign: Campaign) -> str:
+        """Content-addressed identity of one (chip, campaign) shard.
+
+        Hashes the chip serial, the campaign name and every run's global
+        key *and* run id -- so a shard only resumes into a study that
+        declares the exact same work, and two campaigns that happen to
+        share a benchmark name but differ in setups never collide.
+        """
+        parts = [chip_serial, campaign.name]
+        parts.extend(f"run{run.run_id}:{run.global_key(chip_serial)}"
+                     for run in campaign.runs)
+        digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+        return f"{_fs_safe(campaign.name)}-{digest[:16]}"
+
+    def _rows_path(self, token: str) -> str:
+        return os.path.join(self.directory, f"{token}.csv")
+
+    def _manifest_path(self, token: str) -> str:
+        return os.path.join(self.directory, f"{token}.json")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def has(self, token: str) -> bool:
+        """Whether this shard completed (manifest is the commit point)."""
+        return os.path.exists(self._manifest_path(token))
+
+    def save(self, token: str, chip_serial: str, campaign: Campaign,
+             rows: List[ResultRow]) -> None:
+        """Persist one completed shard: rows first, manifest last."""
+        store = ResultStore()
+        store.extend(rows)
+        text = store.to_csv_text()
+        rows_path = self._rows_path(token)
+        tmp_path = rows_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+        os.replace(tmp_path, rows_path)
+        manifest = {
+            "token": token,
+            "chip": chip_serial,
+            "campaign": campaign.name,
+            "rows": len(rows),
+            "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+        }
+        tmp_manifest = self._manifest_path(token) + ".tmp"
+        with open(tmp_manifest, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+        os.replace(tmp_manifest, self._manifest_path(token))
+
+    def load_rows(self, token: str) -> List[ResultRow]:
+        """Reload a completed shard's rows, verifying the manifest."""
+        if not self.has(token):
+            raise CampaignError(f"checkpoint has no completed shard {token!r}")
+        with open(self._manifest_path(token), encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        # newline="" reads the file verbatim: the CSV uses \r\n row
+        # terminators, which universal-newline mode would rewrite and
+        # break the manifest hash.
+        with open(self._rows_path(token), encoding="utf-8",
+                  newline="") as handle:
+            text = handle.read()
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        if digest != manifest.get("sha256"):
+            raise CampaignError(
+                f"checkpoint shard {token!r} is corrupt: CSV hash mismatch")
+        rows = ResultStore.from_csv_text(text).rows()
+        if len(rows) != manifest.get("rows"):
+            raise CampaignError(
+                f"checkpoint shard {token!r} is corrupt: row count mismatch")
+        return rows
+
+    def completed_shards(self) -> List[Dict]:
+        """Manifests of every completed shard, sorted by token."""
+        manifests = []
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(".json"):
+                with open(os.path.join(self.directory, name),
+                          encoding="utf-8") as handle:
+                    manifests.append(json.load(handle))
+        return manifests

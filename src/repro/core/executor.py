@@ -144,6 +144,7 @@ class CampaignExecutor:
         # hoisted; the classification (a pure function of the few distinct
         # (worst, ce, ue) triples a run produces) is memoized per run.
         run_id = run.run_id
+        run_key = run.global_key(self.chip.serial)
         benchmark = workload.name
         suite = workload.cpu.suite
         voltage_mv = setup.voltage_mv
@@ -180,7 +181,7 @@ class CampaignExecutor:
             rows.append(ResultRow(
                 run_id, benchmark, suite, voltage_mv, freq_ghz, cores_label,
                 repetition, outcome_value, verdict_value, ce_count, ue_count,
-                wall_time,
+                wall_time, run_key,
             ))
         self.store.extend(rows)
         return RunRecord(run=run, counts=OutcomeCounts(counts=outcome_counts),

@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the result pipeline.
+
+The paper's characterization framework exists because undervolting runs
+crash, hang and corrupt their own telemetry -- so the harness, not the
+benchmark, must guarantee that every repetition's outcome survives to
+the final CSV. This module makes that guarantee *testable*: a
+:class:`FaultPlan` declares a reproducible schedule of harness-level
+faults and a :class:`FaultInjector` feeds it to the pipeline --
+
+- **worker kills**: a campaign shard's worker process dies before
+  reporting (the parallel engine must re-execute the shard);
+- **spurious watchdog escalations**: the watchdog wrongly power-cycles
+  the board mid-shard, losing the attempt's telemetry (again: retry);
+- **transport corruption/loss bursts**: windows of uploaded rows whose
+  first ``depth`` transmit attempts are forcibly corrupted
+  (:class:`~repro.core.transport.SerialLink`) or dropped
+  (:class:`~repro.core.transport.NetworkLink`).
+
+Every decision is a pure function of the plan plus ``(index, attempt)``,
+so the same plan injects the same faults at any worker count -- which is
+what lets the test suite assert the *fault-equivalence property*: a
+pipeline run under any seeded plan converges to a cloud store
+bit-identical to the clean serial run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CampaignError
+from repro.rand import SeedLike, substream
+
+#: Fault kinds reported by :meth:`FaultInjector.shard_fault`.
+WORKER_KILL = "worker-kill"
+SPURIOUS_ESCALATION = "spurious-escalation"
+
+
+@dataclass(frozen=True)
+class FaultBurst:
+    """A window of uploaded rows whose first attempts are doomed.
+
+    For every row index in ``[first_row, first_row + rows)`` the first
+    ``depth`` transmit attempts fail; attempt ``depth`` onward goes
+    through. Keeping ``depth <= max_retries`` of the link therefore
+    guarantees eventual delivery -- bursts model a flaky window, not a
+    severed cable.
+    """
+
+    first_row: int
+    rows: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.first_row < 0 or self.rows < 1 or self.depth < 1:
+            raise CampaignError("burst needs first_row >= 0, rows/depth >= 1")
+
+    def hits(self, row_index: int, attempt: int) -> bool:
+        return (self.first_row <= row_index < self.first_row + self.rows
+                and attempt < self.depth)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, reproducible schedule of harness faults.
+
+    Parameters
+    ----------
+    shard_kills / shard_escalations:
+        ``(shard_index, count)`` pairs: the shard's first ``count``
+        attempts die as a killed worker / a spurious watchdog power
+        cycle. Both lose the attempt; they differ in what the stats
+        blame.
+    corruption_bursts / loss_bursts:
+        Row windows whose early transmit attempts are corrupted on the
+        serial link / dropped on the network link.
+    interrupt_after_shards:
+        Abort the whole study (``CampaignInterrupted``) once this many
+        shards completed in one engine call -- the hook the
+        checkpoint/resume tests and the ``--resume`` CLI flow use.
+    """
+
+    shard_kills: Tuple[Tuple[int, int], ...] = ()
+    shard_escalations: Tuple[Tuple[int, int], ...] = ()
+    corruption_bursts: Tuple[FaultBurst, ...] = ()
+    loss_bursts: Tuple[FaultBurst, ...] = ()
+    interrupt_after_shards: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name, pairs in (("shard_kills", self.shard_kills),
+                            ("shard_escalations", self.shard_escalations)):
+            for shard, count in pairs:
+                if shard < 0 or count < 1:
+                    raise CampaignError(
+                        f"{name} needs shard >= 0 and count >= 1")
+        if self.interrupt_after_shards is not None \
+                and self.interrupt_after_shards < 1:
+            raise CampaignError("interrupt_after_shards must be >= 1")
+
+    @property
+    def max_transport_depth(self) -> int:
+        """Deepest burst; links need ``max_retries >= this`` to converge."""
+        bursts = self.corruption_bursts + self.loss_bursts
+        return max((b.depth for b in bursts), default=0)
+
+    @classmethod
+    def random(cls, seed: SeedLike, shards: int, rows: int = 0,
+               max_depth: int = 3,
+               interrupt_after_shards: Optional[int] = None) -> "FaultPlan":
+        """A seeded plan covering every fault kind.
+
+        ``shards`` is the campaign count of the study; ``rows`` the
+        (approximate) number of rows the upload will push -- bursts are
+        placed inside that range. The same seed always produces the same
+        plan, so a faulted run is exactly reproducible.
+        """
+        if shards < 1:
+            raise CampaignError("a fault plan needs at least one shard")
+        rng = substream(seed, "fault-plan")
+        kills = tuple(
+            (shard, int(rng.integers(1, 3)))
+            for shard in range(shards) if rng.random() < 0.5)
+        escalations = tuple(
+            (shard, 1) for shard in range(shards) if rng.random() < 0.35)
+        corruption = []
+        loss = []
+        if rows > 0:
+            for bursts in (corruption, loss):
+                for _ in range(int(rng.integers(1, 4))):
+                    first = int(rng.integers(0, rows))
+                    length = int(rng.integers(1, max(2, rows // 4 + 1)))
+                    depth = int(rng.integers(1, max_depth + 1))
+                    bursts.append(FaultBurst(first, length, depth))
+        return cls(shard_kills=kills, shard_escalations=escalations,
+                   corruption_bursts=tuple(corruption),
+                   loss_bursts=tuple(loss),
+                   interrupt_after_shards=interrupt_after_shards)
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually fired, for reporting."""
+
+    worker_kills: int = 0
+    spurious_escalations: int = 0
+    corrupted_frames: int = 0
+    dropped_packets: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.worker_kills + self.spurious_escalations
+                + self.corrupted_frames + self.dropped_packets)
+
+
+class FaultInjector:
+    """Feeds a :class:`FaultPlan` to the pipeline, counting what fired.
+
+    Decisions are pure functions of ``(index, attempt)`` so they are
+    identical at any worker count and on every retry of the same
+    attempt; only :attr:`stats` is mutable.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._kills: Dict[int, int] = dict(plan.shard_kills)
+        self._escalations: Dict[int, int] = dict(plan.shard_escalations)
+
+    def shard_fault(self, shard_index: int, attempt: int) -> Optional[str]:
+        """Fate of one shard attempt: kill, escalation, or survival."""
+        kills = self._kills.get(shard_index, 0)
+        if attempt < kills:
+            self.stats.worker_kills += 1
+            return WORKER_KILL
+        if attempt < kills + self._escalations.get(shard_index, 0):
+            self.stats.spurious_escalations += 1
+            return SPURIOUS_ESCALATION
+        return None
+
+    def corrupt_frame(self, row_index: int, attempt: int) -> bool:
+        """Should the serial link corrupt this (row, attempt) frame?"""
+        if any(b.hits(row_index, attempt) for b in self.plan.corruption_bursts):
+            self.stats.corrupted_frames += 1
+            return True
+        return False
+
+    def drop_packet(self, row_index: int, attempt: int) -> bool:
+        """Should the network link drop this (row, attempt) packet?"""
+        if any(b.hits(row_index, attempt) for b in self.plan.loss_bursts):
+            self.stats.dropped_packets += 1
+            return True
+        return False
+
+    def interrupt_due(self, completed_shards: int) -> bool:
+        """Has the plan's injected interruption point been reached?"""
+        return (self.plan.interrupt_after_shards is not None
+                and completed_shards >= self.plan.interrupt_after_shards)

@@ -1,4 +1,4 @@
-"""Process-parallel campaign engine.
+"""Process-parallel campaign engine with fault tolerance and resume.
 
 The paper's characterization methodology is embarrassingly parallel at
 the campaign level: every (benchmark, chip) pair walks its own voltage
@@ -21,6 +21,18 @@ Consequently ``jobs=1`` (inline, no pool) and any ``jobs=N`` produce
 identical records and identical result rows -- the property
 ``tests/test_parallel.py`` locks down.
 
+On top of that, the engine is the robustness layer of the result
+pipeline (the reason the paper's framework exists at all):
+
+- a :class:`~repro.core.faults.FaultInjector` can kill shard attempts
+  (worker death, spurious watchdog power cycle); because shards are
+  deterministic, the engine simply re-executes the attempt and the final
+  rows stay bit-identical to a clean run;
+- a :class:`~repro.core.checkpoint.CampaignCheckpoint` persists every
+  completed shard (CSV + manifest), so an interrupted ``--jobs N`` study
+  resumes without re-executing finished shards -- and reproduces the
+  same rows when it does.
+
 Seeds must be integers (or ``None``) for cross-process reproducibility:
 a live generator object cannot be re-derived identically on workers.
 """
@@ -29,17 +41,26 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.campaign import Campaign
+from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.classify import OutcomeCounts
 from repro.core.executor import CampaignExecutor, RunRecord
-from repro.core.results import ResultStore
-from repro.errors import CampaignError
+from repro.core.faults import FaultInjector
+from repro.core.results import ResultRow, ResultStore
+from repro.cpu.outcomes import RunOutcome
+from repro.errors import CampaignError, CampaignInterrupted
 from repro.rand import DEFAULT_SEED
 from repro.soc.chip import Chip
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: Sentinel a doomed work unit returns in place of its result. A plain
+#: comparable value (not an object identity) so it survives pickling
+#: across the process pool.
+UNIT_KILLED = ("repro.core.parallel:unit-killed",)
 
 
 def default_jobs() -> int:
@@ -64,29 +85,101 @@ def resolve_seed(seed) -> int:
     return int(seed)
 
 
-def parallel_map(fn: Callable[[_T], _R], items: Sequence[_T],
-                 jobs: int = 1) -> List[_R]:
-    """Order-preserving map, optionally fanned out across processes.
-
-    ``jobs <= 1`` (or a single item) runs inline with no pool -- the
-    deterministic reference path. ``fn`` and every item must be
-    picklable when ``jobs > 1``; results return in item order, so a
-    worker count never reorders downstream aggregation.
-    """
-    items = list(items)
+def _plain_map(fn: Callable[[_T], _R], items: Sequence[_T],
+               jobs: int) -> List[_R]:
+    """Order-preserving map over a process pool (or inline)."""
     if jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
         return list(pool.map(fn, items))
 
 
-def _campaign_shard(task: Tuple[Chip, int, Campaign, bool]
-                    ) -> Tuple[List[RunRecord], List]:
-    """Worker body: execute one campaign on a fresh executor."""
-    chip, seed, campaign, stop_on_unsafe = task
+def _faulted_unit(task: Tuple[Callable, object, Optional[str]]):
+    """Worker body for fault-aware maps: doomed attempts return the
+    kill sentinel instead of a result (simulating a worker that died
+    with its work lost)."""
+    fn, item, fault = task
+    if fault is not None:
+        return UNIT_KILLED
+    return fn(item)
+
+
+def parallel_map(fn: Callable[[_T], _R], items: Sequence[_T],
+                 jobs: int = 1,
+                 fault_injector: Optional[FaultInjector] = None) -> List[_R]:
+    """Order-preserving map, optionally fanned out across processes.
+
+    ``jobs <= 1`` (or a single item) runs inline with no pool -- the
+    deterministic reference path. ``fn`` and every item must be
+    picklable when ``jobs > 1``; results return in item order, so a
+    worker count never reorders downstream aggregation.
+
+    With a ``fault_injector``, attempts the injector dooms (worker
+    kills, spurious escalations) are lost and transparently re-executed
+    until they survive; since work units are deterministic, the returned
+    results are identical to an injector-free run.
+    """
+    items = list(items)
+    if fault_injector is None:
+        return _plain_map(fn, items, jobs)
+    results: List[Optional[_R]] = [None] * len(items)
+    pending = [(index, 0) for index in range(len(items))]
+    while pending:
+        tasks = [(fn, items[index], fault_injector.shard_fault(index, attempt))
+                 for index, attempt in pending]
+        outs = _plain_map(_faulted_unit, tasks, jobs)
+        retry = []
+        for (index, attempt), out in zip(pending, outs):
+            if out == UNIT_KILLED:
+                retry.append((index, attempt + 1))
+            else:
+                results[index] = out
+        pending = retry
+    return results
+
+
+def _campaign_shard(task: Tuple[Chip, int, Campaign, bool, Optional[str]]
+                    ) -> Optional[Tuple[List[RunRecord], List[ResultRow]]]:
+    """Worker body: execute one campaign attempt on a fresh executor.
+
+    A non-``None`` injected ``fault`` loses the attempt (``None`` comes
+    back, as from a worker that died before reporting); the engine
+    re-enqueues the shard.
+    """
+    chip, seed, campaign, stop_on_unsafe, fault = task
+    if fault is not None:
+        return None
     executor = CampaignExecutor(chip, seed=seed)
     records = executor.execute_campaign(campaign, stop_on_unsafe=stop_on_unsafe)
     return records, executor.store.rows()
+
+
+def _records_from_rows(campaign: Campaign,
+                       rows: Sequence[ResultRow]) -> List[RunRecord]:
+    """Rebuild a shard's :class:`RunRecord` list from persisted rows.
+
+    The rows carry everything but the run objects, which the campaign
+    supplies; wall time re-accumulates in repetition order, matching the
+    executor's summation exactly. Runs absent from the rows (a
+    ``stop_on_unsafe`` abort) end the record list, as in live execution.
+    """
+    by_run: Dict[int, List[ResultRow]] = {}
+    for row in rows:
+        by_run.setdefault(row.run_id, []).append(row)
+    records: List[RunRecord] = []
+    for run in campaign.runs:
+        run_rows = by_run.get(run.run_id)
+        if run_rows is None:
+            break
+        counts: Dict[RunOutcome, int] = {}
+        wall_time = 0.0
+        for row in run_rows:
+            outcome = RunOutcome(row.outcome)
+            counts[outcome] = counts.get(outcome, 0) + 1
+            wall_time += row.wall_time_s
+        records.append(RunRecord(run=run, counts=OutcomeCounts(counts=counts),
+                                 wall_time_s=wall_time))
+    return records
 
 
 class ParallelCampaignExecutor:
@@ -103,19 +196,35 @@ class ParallelCampaignExecutor:
     jobs:
         Worker-process count. ``1`` executes inline with no pool;
         results are identical at every value.
+    fault_injector:
+        Optional :class:`~repro.core.faults.FaultInjector`; shard
+        attempts it dooms (worker kills, spurious watchdog escalations)
+        are lost and re-executed, and its plan may inject a study-level
+        interruption (:class:`~repro.errors.CampaignInterrupted`).
+    checkpoint:
+        Optional :class:`~repro.core.checkpoint.CampaignCheckpoint`;
+        completed shards persist as CSV + manifest and a later call with
+        the same checkpoint re-executes only unfinished shards.
 
     The watchdog recovery ladder is campaign-local: every campaign shard
     gets a fresh :class:`~repro.core.watchdog.Watchdog`, matching a
     serial loop that builds one executor per campaign.
     """
 
-    def __init__(self, chip: Chip, seed=None, jobs: int = 1) -> None:
+    def __init__(self, chip: Chip, seed=None, jobs: int = 1,
+                 fault_injector: Optional[FaultInjector] = None,
+                 checkpoint: Optional[CampaignCheckpoint] = None) -> None:
         if jobs < 1:
             raise CampaignError(f"jobs must be >= 1, got {jobs}")
         self.chip = chip
         self.jobs = jobs
         self._seed = resolve_seed(seed)
+        self.fault_injector = fault_injector
+        self.checkpoint = checkpoint
         self.store = ResultStore()
+        #: Shards loaded from the checkpoint / executed, last call.
+        self.shards_resumed = 0
+        self.shards_executed = 0
 
     def execute_campaigns(self, campaigns: Iterable[Campaign],
                           stop_on_unsafe: bool = False) -> List[List[RunRecord]]:
@@ -123,13 +232,66 @@ class ParallelCampaignExecutor:
 
         Returns the per-campaign record lists in campaign order; the
         merged rows land in :attr:`store`, ordered exactly as a serial
-        per-campaign loop would have appended them.
+        per-campaign loop would have appended them. Checkpointed shards
+        are reloaded instead of re-executed; injected shard faults are
+        retried until the shard survives.
         """
-        tasks = [(self.chip, self._seed, campaign, stop_on_unsafe)
-                 for campaign in campaigns]
-        shards = parallel_map(_campaign_shard, tasks, jobs=self.jobs)
+        campaigns = list(campaigns)
+        shards: List[Optional[Tuple[List[RunRecord], List[ResultRow]]]] = \
+            [None] * len(campaigns)
+        tokens: List[Optional[str]] = [None] * len(campaigns)
+        self.shards_resumed = 0
+        self.shards_executed = 0
+        if self.checkpoint is not None:
+            for index, campaign in enumerate(campaigns):
+                token = self.checkpoint.shard_token(self.chip.serial, campaign)
+                tokens[index] = token
+                if self.checkpoint.has(token):
+                    rows = self.checkpoint.load_rows(token)
+                    shards[index] = (_records_from_rows(campaign, rows), rows)
+                    self.shards_resumed += 1
+
+        injector = self.fault_injector
+        pending = [(index, 0) for index in range(len(campaigns))
+                   if shards[index] is None]
+        completed = 0
+        interrupted = False
+        while pending and not interrupted:
+            tasks = []
+            for index, attempt in pending:
+                fault = injector.shard_fault(index, attempt) \
+                    if injector is not None else None
+                tasks.append((self.chip, self._seed, campaigns[index],
+                              stop_on_unsafe, fault))
+            outs = parallel_map(_campaign_shard, tasks, jobs=self.jobs)
+            retry = []
+            for (index, attempt), out in zip(pending, outs):
+                if out is None:
+                    retry.append((index, attempt + 1))
+                    continue
+                if interrupted:
+                    # Work computed past the injected interruption point
+                    # is discarded, exactly as if the study had died:
+                    # resume re-executes it.
+                    continue
+                shards[index] = out
+                self.shards_executed += 1
+                if self.checkpoint is not None:
+                    self.checkpoint.save(tokens[index], self.chip.serial,
+                                         campaigns[index], out[1])
+                completed += 1
+                if injector is not None and injector.interrupt_due(completed):
+                    interrupted = True
+            pending = retry
+        if interrupted:
+            raise CampaignInterrupted(
+                f"study interrupted after {completed} completed shard(s); "
+                "resume from the checkpoint to finish")
+
         all_records: List[List[RunRecord]] = []
-        for records, rows in shards:
+        for shard in shards:
+            assert shard is not None
+            records, rows = shard
             all_records.append(records)
             self.store.extend(rows)
         return all_records

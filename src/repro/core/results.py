@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Callable, Iterable, List, NamedTuple, Optional
+from typing import Callable, Iterable, List, Mapping, NamedTuple, Optional
 
 from repro.cpu.outcomes import RunOutcome
 from repro.errors import CampaignError
@@ -20,7 +20,7 @@ from repro.errors import CampaignError
 RESULT_FIELDS = (
     "run_id", "benchmark", "suite", "voltage_mv", "freq_ghz", "cores",
     "repetition", "outcome", "verdict", "corrected_errors",
-    "uncorrected_errors", "wall_time_s",
+    "uncorrected_errors", "wall_time_s", "run_key",
 )
 
 
@@ -51,6 +51,39 @@ class ResultRow(NamedTuple):
     corrected_errors: int
     uncorrected_errors: int
     wall_time_s: float
+    #: Globally unique run identity (chip serial + campaign + run
+    #: signature), stamped by the executor. Empty on rows produced before
+    #: execution context is known; the cloud key falls back to ``run_id``.
+    run_key: str = ""
+
+
+def row_from_record(record: Mapping[str, str]) -> ResultRow:
+    """Build a :class:`ResultRow` from a string-valued field mapping.
+
+    The single place CSV/transport text turns back into typed rows, so
+    the codec in :mod:`repro.core.transport` and
+    :meth:`ResultStore.from_csv_text` can never drift apart. ``run_key``
+    is optional for compatibility with CSVs written before the global
+    run-identity column existed.
+    """
+    try:
+        return ResultRow(
+            run_id=int(record["run_id"]),
+            benchmark=record["benchmark"],
+            suite=record["suite"],
+            voltage_mv=float(record["voltage_mv"]),
+            freq_ghz=float(record["freq_ghz"]),
+            cores=record["cores"],
+            repetition=int(record["repetition"]),
+            outcome=record["outcome"],
+            verdict=record["verdict"],
+            corrected_errors=int(record["corrected_errors"]),
+            uncorrected_errors=int(record["uncorrected_errors"]),
+            wall_time_s=float(record["wall_time_s"]),
+            run_key=record.get("run_key", "") or "",
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CampaignError(f"malformed row record: {exc}") from exc
 
 
 class ResultStore:
@@ -123,24 +156,16 @@ class ResultStore:
 
     @classmethod
     def from_csv_text(cls, text: str) -> "ResultStore":
-        """Parse a CSV produced by :meth:`to_csv_text`."""
+        """Parse a CSV produced by :meth:`to_csv_text`.
+
+        ``run_key`` is optional so CSVs written before the global
+        run-identity column existed still load.
+        """
         store = cls()
         reader = csv.DictReader(io.StringIO(text))
-        if reader.fieldnames is None or set(RESULT_FIELDS) - set(reader.fieldnames):
+        required = set(RESULT_FIELDS) - {"run_key"}
+        if reader.fieldnames is None or required - set(reader.fieldnames):
             raise CampaignError("CSV is missing required result columns")
         for record in reader:
-            store.append(ResultRow(
-                run_id=int(record["run_id"]),
-                benchmark=record["benchmark"],
-                suite=record["suite"],
-                voltage_mv=float(record["voltage_mv"]),
-                freq_ghz=float(record["freq_ghz"]),
-                cores=record["cores"],
-                repetition=int(record["repetition"]),
-                outcome=record["outcome"],
-                verdict=record["verdict"],
-                corrected_errors=int(record["corrected_errors"]),
-                uncorrected_errors=int(record["uncorrected_errors"]),
-                wall_time_s=float(record["wall_time_s"]),
-            ))
+            store.append(row_from_record(record))
         return store

@@ -20,7 +20,7 @@ Two scheduling modes matter in practice:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.executor import CampaignExecutor
 from repro.core.vmin import VminResult, VminSearch

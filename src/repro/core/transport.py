@@ -13,61 +13,82 @@ This module models that plumbing:
   retries a bounded number of times;
 - :class:`NetworkLink` -- packetized transfer with seeded packet loss
   and bounded retries (at-least-once delivery: duplicates possible);
-- :class:`CloudStore` -- the receiving end; idempotent on the
-  ``(run_id, repetition)`` key so at-least-once transports converge to
-  exactly-once contents;
+- :class:`CloudStore` -- the receiving end; idempotent on the globally
+  unique ``(run_key, run_id, repetition)`` identity so at-least-once
+  transports converge to exactly-once contents, even when several
+  campaigns or chips upload into the same store;
 - :class:`ResultUploader` -- drains a :class:`ResultStore` through any
   link into the cloud store and reports delivery statistics.
+
+Both links accept a :class:`~repro.core.faults.FaultInjector`, which
+forces corruption/loss bursts onto specific rows -- the hook the
+fault-equivalence tests use to prove the pipeline still converges to the
+clean run's exact contents.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import zlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
-from repro.core.results import ResultRow, ResultStore, result_fields
+from repro.core.faults import FaultInjector
+from repro.core.results import ResultRow, ResultStore, result_fields, row_from_record
 from repro.errors import CampaignError
 from repro.rand import SeedLike, substream
 
+#: Fixed-width CRC32 suffix: ``payload | crc`` with an 8-hex-digit CRC.
+#: The separator and CRC live at fixed offsets from the frame's *end*,
+#: so no corrupted payload byte -- not even one forging a ``|`` -- can
+#: shift where the receiver splits the frame.
+_CRC_DIGITS = 8
+_FRAME_OVERHEAD = _CRC_DIGITS + 1  # "|" + 8 hex digits
+
 
 def encode_row(row: ResultRow) -> str:
-    """Serialize one row as a CSV line (no header, no newline)."""
-    record = row._asdict()
-    return ",".join(str(record[name]) for name in result_fields())
+    """Serialize one row as a proper CSV record (no trailing newline).
+
+    Uses the same quoting rules as :meth:`ResultStore.to_csv_text`, so
+    field values containing commas, quotes or newlines (benchmark
+    labels, the global ``run_key``) survive the trip intact.
+    """
+    buffer = io.StringIO()
+    csv.writer(buffer).writerow([str(value) for value in row])
+    return buffer.getvalue()[:-2]  # strip the writer's "\r\n"
 
 
 def decode_row(line: str) -> ResultRow:
-    """Parse a line produced by :func:`encode_row`."""
-    parts = line.split(",")
+    """Parse a record produced by :func:`encode_row`."""
+    try:
+        rows = list(csv.reader(io.StringIO(line)))
+    except csv.Error as exc:
+        raise CampaignError(f"malformed row: {exc}") from exc
+    if len(rows) != 1:
+        raise CampaignError(f"malformed row: {len(rows)} records in frame")
+    parts = rows[0]
     names = result_fields()
     if len(parts) != len(names):
         raise CampaignError(f"malformed row: {len(parts)} fields")
-    record = dict(zip(names, parts))
-    return ResultRow(
-        run_id=int(record["run_id"]),
-        benchmark=record["benchmark"],
-        suite=record["suite"],
-        voltage_mv=float(record["voltage_mv"]),
-        freq_ghz=float(record["freq_ghz"]),
-        cores=record["cores"],
-        repetition=int(record["repetition"]),
-        outcome=record["outcome"],
-        verdict=record["verdict"],
-        corrected_errors=int(record["corrected_errors"]),
-        uncorrected_errors=int(record["uncorrected_errors"]),
-        wall_time_s=float(record["wall_time_s"]),
-    )
+    return row_from_record(dict(zip(names, parts)))
 
 
 @dataclass
 class TransportStats:
-    """Delivery accounting of one link."""
+    """Delivery accounting of one link.
+
+    ``delivered`` counts *rows* that reached the store (once per row,
+    however many retransmissions it took); ``dropped`` counts lost
+    packets, ``ack_lost`` lost acknowledgements -- so
+    ``attempts - delivered`` is the true retransmission overhead.
+    """
 
     attempts: int = 0
     delivered: int = 0
     corrupted: int = 0
     dropped: int = 0
+    ack_lost: int = 0
     gave_up: int = 0
 
     @property
@@ -78,19 +99,36 @@ class TransportStats:
 
 
 class CloudStore:
-    """Idempotent receiving store keyed by ``(run_id, repetition)``."""
+    """Idempotent receiving store keyed by global run identity.
+
+    The key is ``(run_key, run_id, repetition)``: ``run_key`` is the
+    chip serial + campaign + run signature the executor stamps on every
+    row, so uploads from different campaigns or chips -- whose *local*
+    ``run_id`` counters collide all the time -- never shadow each
+    other's rows. Rows without a ``run_key`` (hand-built or legacy) fall
+    back to the per-campaign ``(run_id, repetition)`` behaviour.
+    """
 
     def __init__(self) -> None:
-        self._rows: Dict[Tuple[int, int], ResultRow] = {}
+        self._rows: Dict[Tuple[str, int, int], ResultRow] = {}
         self.duplicates = 0
 
+    @staticmethod
+    def key_of(row: ResultRow) -> Tuple[str, int, int]:
+        """The deduplication identity of one row."""
+        return (row.run_key, row.run_id, row.repetition)
+
     def receive(self, row: ResultRow) -> None:
-        """Accept a row; duplicate keys are counted and ignored."""
-        key = (row.run_id, row.repetition)
+        """Accept a row; duplicate identities are counted and ignored."""
+        key = self.key_of(row)
         if key in self._rows:
             self.duplicates += 1
             return
         self._rows[key] = row
+
+    def contains(self, row: ResultRow) -> bool:
+        """Whether this exact run identity has already been received."""
+        return self.key_of(row) in self._rows
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -106,12 +144,16 @@ class CloudStore:
 class SerialLink:
     """Checksummed line framing over a bit-error-prone UART.
 
-    Every frame is ``payload|crc32``; the receiver recomputes the CRC
-    and NAKs mismatches. The sender retries up to ``max_retries`` times.
+    Every frame is ``payload|crc32`` with the separator and CRC at fixed
+    offsets from the end; the receiver recomputes the CRC and NAKs
+    mismatches. The sender retries up to ``max_retries`` times. A
+    :class:`~repro.core.faults.FaultInjector` can force corruption
+    bursts onto specific rows.
     """
 
     def __init__(self, store: CloudStore, bit_error_rate: float = 1e-5,
-                 max_retries: int = 8, seed: SeedLike = None) -> None:
+                 max_retries: int = 8, seed: SeedLike = None,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         if not 0.0 <= bit_error_rate < 1.0:
             raise CampaignError("bit error rate must be in [0, 1)")
         if max_retries < 0:
@@ -120,6 +162,8 @@ class SerialLink:
         self.bit_error_rate = bit_error_rate
         self.max_retries = max_retries
         self._rng = substream(seed, "serial-link")
+        self._injector = fault_injector
+        self._rows_sent = 0
         self.stats = TransportStats()
 
     def _transmit(self, frame: bytes) -> bytes:
@@ -134,21 +178,41 @@ class SerialLink:
             data[position // 8] ^= 1 << (position % 8)
         return bytes(data)
 
+    @staticmethod
+    def _injected_corruption(frame: bytes, row_index: int,
+                             attempt: int) -> bytes:
+        """Deterministically flip one bit (always caught by the CRC)."""
+        n_bits = len(frame) * 8
+        position = (row_index * 8191 + attempt * 131) % n_bits
+        data = bytearray(frame)
+        data[position // 8] ^= 1 << (position % 8)
+        return bytes(data)
+
     def send(self, row: ResultRow) -> bool:
         """Deliver one row; returns False if every retry failed."""
+        row_index = self._rows_sent
+        self._rows_sent += 1
         payload = encode_row(row).encode("utf-8")
         checksum = zlib.crc32(payload)
         frame = payload + b"|" + f"{checksum:08x}".encode("ascii")
-        for _attempt in range(self.max_retries + 1):
+        for attempt in range(self.max_retries + 1):
             self.stats.attempts += 1
-            received = self._transmit(frame)
-            body, _, crc_text = received.rpartition(b"|")
-            try:
-                crc_ok = int(crc_text, 16) == zlib.crc32(body)
-                decoded = decode_row(body.decode("utf-8")) if crc_ok else None
-            except (ValueError, UnicodeDecodeError, CampaignError):
-                crc_ok, decoded = False, None
-            if crc_ok and decoded is not None:
+            if self._injector is not None \
+                    and self._injector.corrupt_frame(row_index, attempt):
+                received = self._injected_corruption(frame, row_index, attempt)
+            else:
+                received = self._transmit(frame)
+            decoded = None
+            if len(received) > _FRAME_OVERHEAD \
+                    and received[-_FRAME_OVERHEAD:-_CRC_DIGITS] == b"|":
+                body = received[:-_FRAME_OVERHEAD]
+                crc_text = received[-_CRC_DIGITS:]
+                try:
+                    if int(crc_text, 16) == zlib.crc32(body):
+                        decoded = decode_row(body.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError, CampaignError):
+                    decoded = None
+            if decoded is not None:
                 self.store.receive(decoded)
                 self.stats.delivered += 1
                 return True
@@ -163,12 +227,15 @@ class NetworkLink:
     Loss drops the whole packet (the row); the sender retries until the
     acknowledgement arrives or the budget runs out. Acknowledgements can
     be lost too, producing duplicate deliveries -- which the idempotent
-    :class:`CloudStore` absorbs.
+    :class:`CloudStore` absorbs. A
+    :class:`~repro.core.faults.FaultInjector` can force loss bursts onto
+    specific rows.
     """
 
     def __init__(self, store: CloudStore, loss_rate: float = 0.05,
                  ack_loss_rate: float = 0.02, max_retries: int = 8,
-                 seed: SeedLike = None) -> None:
+                 seed: SeedLike = None,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         for name, rate in (("loss_rate", loss_rate),
                            ("ack_loss_rate", ack_loss_rate)):
             if not 0.0 <= rate < 1.0:
@@ -180,25 +247,42 @@ class NetworkLink:
         self.ack_loss_rate = ack_loss_rate
         self.max_retries = max_retries
         self._rng = substream(seed, "network-link")
+        self._injector = fault_injector
+        self._rows_sent = 0
         self.stats = TransportStats()
 
     def send(self, row: ResultRow) -> bool:
         """Deliver one row with retry-until-acked semantics."""
-        for _attempt in range(self.max_retries + 1):
+        row_index = self._rows_sent
+        self._rows_sent += 1
+        arrived = False
+        for attempt in range(self.max_retries + 1):
             self.stats.attempts += 1
-            if self._rng.random() < self.loss_rate:
+            lost = self._rng.random() < self.loss_rate
+            if self._injector is not None \
+                    and self._injector.drop_packet(row_index, attempt):
+                lost = True
+            if lost:
                 self.stats.dropped += 1
                 continue
             self.store.receive(row)       # packet arrived
-            self.stats.delivered += 1
+            if not arrived:
+                # Count the row once, however many retransmits it takes:
+                # duplicate arrivals are the cloud store's business.
+                self.stats.delivered += 1
+                arrived = True
             if self._rng.random() < self.ack_loss_rate:
                 # Ack lost: the sender will retransmit a duplicate.
-                self.stats.dropped += 1
+                self.stats.ack_lost += 1
                 continue
             return True
+        if arrived:
+            # The row landed on an attempt whose ack died; that is a
+            # delivery, not a failure.
+            return True
         self.stats.gave_up += 1
-        # The row may still have arrived on an attempt whose ack died.
-        return (row.run_id, row.repetition) in self.store._rows
+        # A previous upload of this same run identity may have landed it.
+        return self.store.contains(row)
 
 
 class ResultUploader:
@@ -206,11 +290,21 @@ class ResultUploader:
 
     def __init__(self, link) -> None:
         self.link = link
+        self.skipped = 0
 
-    def upload(self, store: ResultStore) -> Tuple[int, int]:
-        """Push every row; returns ``(sent_ok, failed)``."""
+    def upload(self, store: ResultStore,
+               skip_delivered: bool = False) -> Tuple[int, int]:
+        """Push every row; returns ``(sent_ok, failed)``.
+
+        ``skip_delivered`` consults :meth:`CloudStore.contains` first and
+        skips rows the cloud already holds -- the resume-friendly mode
+        for re-uploading after an interrupted study.
+        """
         ok = failed = 0
         for row in store.rows():
+            if skip_delivered and self.link.store.contains(row):
+                self.skipped += 1
+                continue
             if self.link.send(row):
                 ok += 1
             else:

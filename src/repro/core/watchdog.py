@@ -52,8 +52,10 @@ class Watchdog:
         Cost of a full power cycle (board bring-up + OS boot).
     reset_success_rate:
         Fraction of hangs the reset switch recovers; the remainder
-        escalate to the power switch. Deterministic alternation rather
-        than randomness keeps campaign timing reproducible.
+        escalate to the power switch. Deterministic error-diffusion
+        scheduling rather than randomness keeps campaign timing
+        reproducible while the long-run escalation fraction matches
+        ``1 - reset_success_rate`` exactly, for any rate in [0, 1].
     """
 
     timeout_s: float = 120.0
@@ -62,6 +64,7 @@ class Watchdog:
     reset_success_rate: float = 0.8
     _events: List[RecoveryEvent] = field(default_factory=list, init=False)
     _hang_counter: int = field(default=0, init=False)
+    _escalation_debt: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if min(self.timeout_s, self.reset_time_s, self.power_cycle_time_s) <= 0:
@@ -83,11 +86,19 @@ class Watchdog:
         stall = self.timeout_s if outcome is RunOutcome.HANG \
             else nominal_runtime_s * 0.5
         self._hang_counter += 1
-        # Deterministic escalation: every k-th hang defeats the reset
-        # switch, where k reflects the configured success rate.
-        escalate_every = max(1, round(1.0 / max(1e-9, 1.0 - self.reset_success_rate))) \
-            if self.reset_success_rate < 1.0 else 0
-        if escalate_every and self._hang_counter % escalate_every == 0:
+        # Deterministic escalation by error diffusion (Bresenham): each
+        # recovery accrues (1 - rate) of escalation debt and the reset
+        # switch is defeated exactly when a whole escalation is owed.
+        # Unlike a rounded "every k-th hang" period -- which collapses
+        # to k=1 (always escalate) for any rate below 0.5 -- this makes
+        # the long-run escalation fraction track 1 - reset_success_rate
+        # for every rate in [0, 1]. The epsilon absorbs float
+        # accumulation (five 0.2-debts sum to 0.9999...).
+        self._escalation_debt += 1.0 - self.reset_success_rate
+        if self._escalation_debt >= 1.0 - 1e-9:
+            # Clamp instead of carrying a ~1e-16 negative residue, so
+            # the debt cycle repeats identically forever (no drift).
+            self._escalation_debt = max(0.0, self._escalation_debt - 1.0)
             verdict = WatchdogVerdict.TIMEOUT_POWER
             recovery = self.reset_time_s + self.power_cycle_time_s
         else:

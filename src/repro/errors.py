@@ -30,6 +30,15 @@ class CampaignError(ReproError):
     """The characterization campaign was driven through an invalid state."""
 
 
+class CampaignInterrupted(CampaignError):
+    """A campaign study stopped before every shard completed.
+
+    Raised by the parallel engine when an (injected or real) interruption
+    cuts a ``--jobs N`` study short; completed shards are already in the
+    checkpoint, so a ``--resume`` rerun picks up where this one died.
+    """
+
+
 class SearchError(ReproError):
     """A parameter search (Vmin search, GA) could not produce a result."""
 

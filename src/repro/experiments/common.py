@@ -11,9 +11,10 @@ answer in any process, at any worker count, in any order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import CampaignExecutor
+from repro.core.faults import FaultInjector, FaultPlan
 from repro.core.vmin import VminResult, VminSearch
 from repro.rand import SeedLike
 from repro.soc.corners import ProcessCorner
@@ -22,6 +23,22 @@ from repro.workloads.base import Workload
 
 #: One parallel work unit: (seed, corner, workload, ladder repetitions).
 VminTask = Tuple[int, ProcessCorner, Workload, int]
+
+
+def fault_injector_for(faults: Optional[int],
+                       shards: int) -> Optional[FaultInjector]:
+    """The sharded drivers' ``--faults`` hook.
+
+    ``faults`` is a fault-plan seed (or ``None`` for a clean run): the
+    returned injector kills a seeded selection of work-unit attempts,
+    which :func:`repro.core.parallel.parallel_map` transparently
+    re-executes -- results stay identical to the clean run, which is the
+    point: the flag demonstrates (and tests) harness robustness, not a
+    different experiment.
+    """
+    if faults is None:
+        return None
+    return FaultInjector(FaultPlan.random(faults, shards=shards))
 
 
 def reference_executors(seed: SeedLike = None) -> Dict[ProcessCorner, CampaignExecutor]:

@@ -10,12 +10,17 @@ reductions of at least 18.4 % (TTT/TFF) and 15.7 % (TSS).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.margins import GuardbandReport, guardband_report
 from repro.core.parallel import parallel_map, resolve_seed
 from repro.core.vmin import VminResult
-from repro.experiments.common import VminTask, format_table, vmin_search_unit
+from repro.experiments.common import (
+    VminTask,
+    fault_injector_for,
+    format_table,
+    vmin_search_unit,
+)
 from repro.rand import SeedLike
 from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
 from repro.workloads.spec import spec_suite
@@ -84,19 +89,23 @@ class Figure4Result:
 
 
 def run_figure4(seed: SeedLike = None, repetitions: int = 10,
-                jobs: int = 1) -> Figure4Result:
+                jobs: int = 1, faults: Optional[int] = None) -> Figure4Result:
     """Run the full Figure 4 campaign on the three reference parts.
 
     The 3 chips x 10 programs = 30 Vmin ladders are independent work
     units; ``jobs > 1`` shards them across a process pool with results
-    identical to ``jobs=1`` at any worker count.
+    identical to ``jobs=1`` at any worker count. ``faults`` seeds an
+    injected worker-kill schedule (killed units re-execute; results are
+    unchanged -- see :func:`repro.experiments.common.fault_injector_for`).
     """
-    base = resolve_seed(seed) if jobs > 1 else seed
+    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
     suite = spec_suite()
     tasks: List[VminTask] = [(base, corner, workload, repetitions)
                              for corner in ProcessCorner
                              for workload in suite]
-    results: List[VminResult] = parallel_map(vmin_search_unit, tasks, jobs=jobs)
+    results: List[VminResult] = parallel_map(
+        vmin_search_unit, tasks, jobs=jobs,
+        fault_injector=fault_injector_for(faults, len(tasks)))
     vmin_mv: Dict[str, Dict[str, float]] = {}
     reports: Dict[str, GuardbandReport] = {}
     for index, corner in enumerate(ProcessCorner):

@@ -9,11 +9,16 @@ the NAS suite, and reports the gap.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.parallel import parallel_map, resolve_seed
 from repro.core.vmin import VminResult
-from repro.experiments.common import VminTask, format_table, vmin_search_unit
+from repro.experiments.common import (
+    VminTask,
+    fault_injector_for,
+    format_table,
+    vmin_search_unit,
+)
 from repro.rand import SeedLike
 from repro.soc.corners import ProcessCorner
 from repro.viruses.didt import DidtVirus, evolve_didt_virus
@@ -79,20 +84,24 @@ class Figure6Result:
 
 def run_figure6(seed: SeedLike = None, repetitions: int = 10,
                 generations: int = 25, population: int = 32,
-                jobs: int = 1) -> Figure6Result:
+                jobs: int = 1, faults: Optional[int] = None) -> Figure6Result:
     """Evolve the virus and compare against NAS on the TTT part.
 
     The GA evolves in the parent process (it is inherently sequential);
     the virus-plus-NAS Vmin ladders then fan out as independent units
     when ``jobs > 1``, with results identical to the serial pass.
+    ``faults`` seeds an injected worker-kill schedule (killed units
+    re-execute; results are unchanged).
     """
     virus = evolve_didt_virus(seed=seed, generations=generations,
                               population=population)
-    base = resolve_seed(seed) if jobs > 1 else seed
+    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
     workloads = [virus_as_workload(virus)] + list(nas_suite())
     tasks: List[VminTask] = [(base, ProcessCorner.TTT, workload, repetitions)
                              for workload in workloads]
-    results: List[VminResult] = parallel_map(vmin_search_unit, tasks, jobs=jobs)
+    results: List[VminResult] = parallel_map(
+        vmin_search_unit, tasks, jobs=jobs,
+        fault_injector=fault_injector_for(faults, len(tasks)))
     return Figure6Result(
         corner=ProcessCorner.TTT.value,
         virus=virus,

@@ -10,10 +10,15 @@ at the manufacturer's nominal voltage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.parallel import parallel_map, resolve_seed
-from repro.experiments.common import VminTask, format_table, vmin_search_unit
+from repro.experiments.common import (
+    VminTask,
+    fault_injector_for,
+    format_table,
+    vmin_search_unit,
+)
 from repro.experiments.fig6_virus_vs_nas import virus_as_workload
 from repro.rand import SeedLike
 from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
@@ -63,20 +68,22 @@ class Figure7Result:
 
 def run_figure7(seed: SeedLike = None, repetitions: int = 10,
                 generations: int = 25, population: int = 32,
-                jobs: int = 1) -> Figure7Result:
+                jobs: int = 1, faults: Optional[int] = None) -> Figure7Result:
     """Evolve one virus and measure it on all three reference parts.
 
     The virus evolves once in the parent; the three per-chip ladders are
     independent units that fan out across processes when ``jobs > 1``,
-    bit-identical to the serial pass.
+    bit-identical to the serial pass. ``faults`` seeds an injected
+    worker-kill schedule (killed units re-execute; results unchanged).
     """
     virus = evolve_didt_virus(seed=seed, generations=generations,
                               population=population)
     workload = virus_as_workload(virus)
-    base = resolve_seed(seed) if jobs > 1 else seed
+    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
     tasks: List[VminTask] = [(base, corner, workload, repetitions)
                              for corner in ProcessCorner]
-    results = parallel_map(vmin_search_unit, tasks, jobs=jobs)
+    results = parallel_map(vmin_search_unit, tasks, jobs=jobs,
+                           fault_injector=fault_injector_for(faults, len(tasks)))
     vmin_mv: Dict[str, float] = {
         corner.value: result.safe_vmin_mv
         for corner, result in zip(ProcessCorner, results)

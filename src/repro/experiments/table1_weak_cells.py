@@ -25,12 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from typing import Optional
+
 from repro.core.parallel import parallel_map, resolve_seed
 from repro.dram.cells import DramDevicePopulation
 from repro.dram.controller import MemoryControlUnit, ScrubResult
 from repro.dram.geometry import DEFAULT_GEOMETRY
 from repro.errors import ConfigurationError
-from repro.experiments.common import format_table
+from repro.experiments.common import fault_injector_for, format_table
 from repro.rand import SeedLike
 from repro.thermal.testbed import ThermalTestbed, ZoneConfig
 from repro.units import RELAXED_REFRESH_S
@@ -164,7 +166,7 @@ def run_table1(seed: SeedLike = None,
                temps_c: Tuple[float, float] = (50.0, 60.0),
                sample_devices: int = 72,
                regulate: bool = True,
-               jobs: int = 1) -> Table1Result:
+               jobs: int = 1, faults: Optional[int] = None) -> Table1Result:
     """Profile the population at both setpoints.
 
     ``regulate=True`` actually runs the PID testbed to each setpoint
@@ -187,10 +189,11 @@ def run_table1(seed: SeedLike = None,
             reports = testbed.run(900.0)
             regulation_ok = regulation_ok and reports[0].within_one_degree
 
-    base = resolve_seed(seed) if jobs > 1 else seed
+    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
     tasks = [(base, chunk, tuple(temps_c))
              for chunk in _device_chunks(sample_devices, jobs)]
-    shards = parallel_map(_profile_device_chunk, tasks, jobs=jobs)
+    shards = parallel_map(_profile_device_chunk, tasks, jobs=jobs,
+                          fault_injector=fault_injector_for(faults, len(tasks)))
 
     counts: Dict[float, Tuple[int, ...]] = {}
     per_chip: Dict[float, Tuple[int, ...]] = {}

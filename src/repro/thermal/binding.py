@@ -11,7 +11,7 @@ ones) that a single-temperature query cannot express.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.dram.cells import DramDevicePopulation
 from repro.dram.geometry import DramGeometry

@@ -1,0 +1,110 @@
+"""Campaign checkpoint/resume persistence (repro.core.checkpoint)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.campaign import CampaignPlan
+from repro.core.checkpoint import CampaignCheckpoint
+from repro.core.results import ResultRow
+from repro.errors import CampaignError
+from repro.workloads.spec import spec_suite
+
+
+def _campaigns(benchmarks=2, stop_mv=940.0):
+    plan = CampaignPlan()
+    plan.add_workloads(spec_suite()[:benchmarks])
+    plan.add_voltage_sweep(980.0, stop_mv, 20.0, repetitions=2)
+    return plan.build()
+
+
+def _rows(campaign, chip_serial="chip-X"):
+    rows = []
+    for run in campaign.runs:
+        for rep in range(run.setup.repetitions):
+            rows.append(ResultRow(
+                run_id=run.run_id, benchmark=campaign.name, suite="spec2006",
+                voltage_mv=run.setup.voltage_mv, freq_ghz=run.setup.freq_ghz,
+                cores="0", repetition=rep, outcome="correct",
+                verdict="completed", corrected_errors=0,
+                uncorrected_errors=0, wall_time_s=0.125 + rep,
+                run_key=run.global_key(chip_serial)))
+    return rows
+
+
+def test_token_is_stable_and_identity_sensitive():
+    first, second = _campaigns()
+    token = CampaignCheckpoint.shard_token("chip-X", first)
+    assert token == CampaignCheckpoint.shard_token("chip-X", first)
+    # Different chip, different campaign, different setups: all distinct.
+    assert token != CampaignCheckpoint.shard_token("chip-Y", first)
+    assert token != CampaignCheckpoint.shard_token("chip-X", second)
+    shorter = _campaigns(stop_mv=960.0)[0]
+    assert token != CampaignCheckpoint.shard_token("chip-X", shorter)
+
+
+def test_save_then_load_roundtrips_rows_exactly(tmp_path):
+    checkpoint = CampaignCheckpoint(str(tmp_path))
+    campaign = _campaigns()[0]
+    rows = _rows(campaign)
+    token = checkpoint.shard_token("chip-X", campaign)
+    assert not checkpoint.has(token)
+    checkpoint.save(token, "chip-X", campaign, rows)
+    assert checkpoint.has(token)
+    assert checkpoint.load_rows(token) == rows
+
+
+def test_manifest_is_the_commit_point(tmp_path):
+    """A stray CSV without its manifest (crash mid-checkpoint) does not
+    count as a completed shard."""
+    checkpoint = CampaignCheckpoint(str(tmp_path))
+    campaign = _campaigns()[0]
+    token = checkpoint.shard_token("chip-X", campaign)
+    with open(os.path.join(str(tmp_path), f"{token}.csv"), "w") as handle:
+        handle.write("partial garbage")
+    assert not checkpoint.has(token)
+    with pytest.raises(CampaignError):
+        checkpoint.load_rows(token)
+
+
+def test_tampered_csv_is_rejected(tmp_path):
+    checkpoint = CampaignCheckpoint(str(tmp_path))
+    campaign = _campaigns()[0]
+    token = checkpoint.shard_token("chip-X", campaign)
+    checkpoint.save(token, "chip-X", campaign, _rows(campaign))
+    csv_path = os.path.join(str(tmp_path), f"{token}.csv")
+    with open(csv_path, encoding="utf-8", newline="") as handle:
+        text = handle.read()
+    with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text.replace("correct", "crooked", 1))
+    with pytest.raises(CampaignError, match="hash mismatch"):
+        checkpoint.load_rows(token)
+
+
+def test_tampered_manifest_row_count_is_rejected(tmp_path):
+    checkpoint = CampaignCheckpoint(str(tmp_path))
+    campaign = _campaigns()[0]
+    token = checkpoint.shard_token("chip-X", campaign)
+    checkpoint.save(token, "chip-X", campaign, _rows(campaign))
+    manifest_path = os.path.join(str(tmp_path), f"{token}.json")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    manifest["rows"] += 1
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    with pytest.raises(CampaignError, match="row count"):
+        checkpoint.load_rows(token)
+
+
+def test_completed_shards_lists_manifests(tmp_path):
+    checkpoint = CampaignCheckpoint(str(tmp_path))
+    campaigns = _campaigns()
+    for campaign in campaigns:
+        token = checkpoint.shard_token("chip-X", campaign)
+        checkpoint.save(token, "chip-X", campaign, _rows(campaign))
+    manifests = checkpoint.completed_shards()
+    assert len(manifests) == len(campaigns)
+    assert {m["campaign"] for m in manifests} == \
+        {c.name for c in campaigns}
+    assert all(m["chip"] == "chip-X" for m in manifests)

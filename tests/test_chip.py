@@ -1,6 +1,5 @@
 """Chip behavioural model: oracle Vmin and sampled run outcomes."""
 
-import pytest
 
 from repro.cpu.outcomes import RunOutcome
 from repro.rand import make_rng
@@ -9,7 +8,7 @@ from repro.soc.chip import (
     FAILURE_ONSET_BAND_MV,
     HARD_CRASH_DEPTH_MV,
 )
-from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
+from repro.soc.corners import ProcessCorner
 from repro.soc.topology import CoreId
 
 

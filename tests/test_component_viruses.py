@@ -1,6 +1,5 @@
 """Component-isolating micro-viruses."""
 
-import pytest
 
 from repro.cpu.faults import FaultSite
 from repro.cpu.isa import spec_of

@@ -46,18 +46,18 @@ def test_em_amplitude_non_negative(sensor, exec_model):
 
 
 def test_resonant_square_wave_reads_highest(sensor, exec_model):
-    readings = [sensor.measure_averaged(exec_model.profile(l).waveform, 2.4,
-                                        repeats=6).amplitude
-                for l in _loops()]
+    readings = [sensor.measure_averaged(exec_model.profile(loop).waveform,
+                                        2.4, repeats=6).amplitude
+                for loop in _loops()]
     assert np.argmax(readings) == 3
 
 
 def test_em_ranks_match_droop_ranks(sensor, exec_model):
     """The proxy property: EM ordering == droop ordering."""
     loops = _loops()
-    em = [sensor.measure_averaged(exec_model.profile(l).waveform, 2.4,
-                                  repeats=8).amplitude for l in loops]
-    droop = [analyze_loop(l).droop_v for l in loops]
+    em = [sensor.measure_averaged(exec_model.profile(loop).waveform, 2.4,
+                                  repeats=8).amplitude for loop in loops]
+    droop = [analyze_loop(loop).droop_v for loop in loops]
     assert np.argsort(em).tolist() == np.argsort(droop).tolist()
 
 

@@ -1,6 +1,5 @@
 """Shared experiment plumbing."""
 
-import pytest
 
 from repro.experiments.common import format_table, reference_executors, vmin_searches
 from repro.soc.corners import ProcessCorner

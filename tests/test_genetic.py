@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu.isa import InstrClass, spec_of
+from repro.cpu.isa import InstrClass
 from repro.cpu.kernels import InstructionLoop
 from repro.errors import SearchError
 from repro.viruses.genetic import GaConfig, GeneticAlgorithm
@@ -89,7 +89,7 @@ def test_config_validation():
     with pytest.raises(SearchError):
         GaConfig(elite_count=40, population_size=40)
     with pytest.raises(SearchError):
-        GeneticAlgorithm(lambda l: 0.0, alphabet=[])
+        GeneticAlgorithm(lambda loop: 0.0, alphabet=[])
 
 
 def test_converged_detection():

@@ -1,6 +1,6 @@
 """Property-based tests of the simulation kernel and refresh exposure."""
 
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.dram.refresh import AccessTrace, RefreshController
 from repro.simkit import Simulator

@@ -1,0 +1,76 @@
+"""Property-based tests of the result transport codec (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import ResultRow
+from repro.core.transport import CloudStore, decode_row, encode_row
+import pytest
+
+#: Heavy module: deselected from the smoke tier (``pytest -m "not slow"``).
+pytestmark = pytest.mark.slow
+
+
+# Text fields may carry anything a benchmark label or run signature can
+# hold -- including CSV delimiters, quotes, newlines and the serial
+# frame's '|' separator.
+field_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40)
+finite_floats = st.floats(allow_nan=False, width=64)
+counts = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@st.composite
+def result_rows(draw):
+    return ResultRow(
+        run_id=draw(counts),
+        benchmark=draw(field_text),
+        suite=draw(field_text),
+        voltage_mv=draw(finite_floats),
+        freq_ghz=draw(finite_floats),
+        cores=draw(field_text),
+        repetition=draw(counts),
+        outcome=draw(field_text),
+        verdict=draw(field_text),
+        corrected_errors=draw(counts),
+        uncorrected_errors=draw(counts),
+        wall_time_s=draw(finite_floats),
+        run_key=draw(field_text),
+    )
+
+
+@given(row=result_rows())
+@settings(max_examples=300, deadline=None)
+def test_codec_roundtrips_any_row(row):
+    assert decode_row(encode_row(row)) == row
+
+
+@given(row=result_rows())
+@settings(max_examples=200, deadline=None)
+def test_encoded_row_is_single_line_frame_payload(row):
+    """The serial link frames one encoded row per frame; the payload
+    must always parse back to exactly one record, whatever the fields
+    contain (embedded newlines stay inside CSV quotes)."""
+    assert decode_row(encode_row(row)) == row
+    doubled = encode_row(row) + "\r\n" + encode_row(row)
+    with pytest.raises(Exception):
+        decode_row(doubled)
+
+
+@given(rows=st.lists(result_rows(), max_size=20),
+       dup_mask=st.lists(st.booleans(), max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_cloud_store_is_idempotent_under_any_replay(rows, dup_mask):
+    cloud = CloudStore()
+    sends = 0
+    for index, row in enumerate(rows):
+        cloud.receive(row)
+        sends += 1
+        if index < len(dup_mask) and dup_mask[index]:
+            cloud.receive(row)     # replayed retransmission
+            sends += 1
+    unique = {CloudStore.key_of(row) for row in rows}
+    assert len(cloud) == len(unique)
+    assert cloud.duplicates == sends - len(unique)
+    materialized = cloud.to_store().rows()
+    assert len(materialized) == len(unique)
+    assert {CloudStore.key_of(row) for row in materialized} == unique

@@ -5,7 +5,7 @@ from hypothesis import assume, given, settings, strategies as st
 from repro.core.executor import CampaignExecutor
 from repro.core.vmin import VminSearch
 from repro.soc.chip import Chip
-from repro.soc.corners import CORNER_PARAMS, NOMINAL_PMD_MV, ProcessCorner
+from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
 from repro.soc.topology import CoreId
 from repro.workloads.base import CpuWorkload, Workload
 import pytest

@@ -1,7 +1,6 @@
 """Deterministic random-stream management."""
 
 import numpy as np
-import pytest
 
 from repro.rand import DEFAULT_SEED, make_rng, substream
 

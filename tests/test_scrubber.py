@@ -6,7 +6,6 @@ from repro.dram.cells import WeakCellMap
 from repro.dram.geometry import BankAddress
 from repro.dram.scrubber import PatrolScrubber, pairup_probability
 from repro.errors import ConfigurationError
-from repro.units import RELAXED_REFRESH_S
 
 
 @pytest.fixture(scope="module")

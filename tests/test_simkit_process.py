@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simkit import Process, Simulator, sleep
+from repro.simkit import Simulator, sleep
 from repro.simkit.process import spawn
 
 

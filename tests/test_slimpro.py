@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError, VoltageDomainError
+from repro.errors import ConfigurationError
 from repro.soc.domains import DomainName
 from repro.soc.sensors import Sensor, SensorBank
 from repro.soc.slimpro import EccReport, SLIMpro

@@ -172,3 +172,168 @@ def test_transport_stats_retry_rate():
     link = NetworkLink(cloud, loss_rate=0.5, max_retries=64, seed=8)
     ResultUploader(link).upload(store_of(10))
     assert link.stats.retry_rate > 0.0
+
+
+# ----------------------------------------------------------------------
+# Row codec: adversarial field values
+# ----------------------------------------------------------------------
+def test_row_codec_quotes_delimiters_in_fields():
+    """Commas, quotes, pipes and newlines inside fields must survive."""
+    nasty = row()._replace(
+        benchmark='mc,f"quoted"', suite="spec|2006",
+        cores="0,1,2", verdict="completed\nwith newline",
+        run_key='chip-1/mc,f"/v=900.0|f=2.4')
+    assert decode_row(encode_row(nasty)) == nasty
+
+
+def test_row_codec_crc_like_suffix_in_field():
+    """A field that *looks* like the serial frame's |crc suffix must not
+    confuse anything: the codec is plain CSV, framing is the link's."""
+    tricky = row()._replace(run_key="deadbeef|cafef00d")
+    assert decode_row(encode_row(tricky)) == tricky
+
+
+def test_decode_rejects_multiple_records():
+    with pytest.raises(CampaignError):
+        decode_row(encode_row(row()) + "\r\n" + encode_row(row()))
+
+
+def test_decode_rejects_non_numeric_fields():
+    line = encode_row(row()).replace("900.0", "not-a-voltage")
+    with pytest.raises(CampaignError):
+        decode_row(line)
+
+
+# ----------------------------------------------------------------------
+# Cloud store: global run identity across campaigns and chips
+# ----------------------------------------------------------------------
+def keyed(run_key: str, run_id=1, rep=0, outcome="correct") -> ResultRow:
+    return row(run_id=run_id, rep=rep, outcome=outcome)._replace(
+        run_key=run_key)
+
+
+def test_cloud_store_keeps_colliding_run_ids_across_campaigns():
+    """Regression: two campaigns both start their run_id counter at 0,
+    so a store keyed on (run_id, repetition) alone silently dropped the
+    second campaign's rows as 'duplicates'."""
+    cloud = CloudStore()
+    cloud.receive(keyed("chip-A/mcf/v=900.0", run_id=0, rep=0))
+    cloud.receive(keyed("chip-A/gcc/v=900.0", run_id=0, rep=0))
+    assert len(cloud) == 2
+    assert cloud.duplicates == 0
+
+
+def test_cloud_store_keeps_colliding_run_ids_across_chips():
+    cloud = CloudStore()
+    cloud.receive(keyed("chip-A/mcf/v=900.0", run_id=3, rep=1))
+    cloud.receive(keyed("chip-B/mcf/v=900.0", run_id=3, rep=1))
+    assert len(cloud) == 2
+    assert cloud.duplicates == 0
+
+
+def test_cloud_store_still_dedupes_same_identity():
+    cloud = CloudStore()
+    cloud.receive(keyed("chip-A/mcf/v=900.0", run_id=3, rep=1))
+    cloud.receive(keyed("chip-A/mcf/v=900.0", run_id=3, rep=1))
+    assert len(cloud) == 1
+    assert cloud.duplicates == 1
+
+
+def test_cloud_store_contains_is_public_api():
+    cloud = CloudStore()
+    first = keyed("chip-A/mcf/v=900.0")
+    assert not cloud.contains(first)
+    cloud.receive(first)
+    assert cloud.contains(first)
+    assert not cloud.contains(keyed("chip-B/mcf/v=900.0"))
+
+
+def test_uploader_skip_delivered_consults_cloud():
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.0, ack_loss_rate=0.0, seed=9)
+    source = store_of(5)
+    ResultUploader(link).upload(source)
+    attempts_before = link.stats.attempts
+    resumer = ResultUploader(link)
+    ok, failed = resumer.upload(source, skip_delivered=True)
+    assert (ok, failed) == (0, 0)
+    assert resumer.skipped == len(source)
+    assert link.stats.attempts == attempts_before  # nothing re-sent
+
+
+# ----------------------------------------------------------------------
+# Network link stats: delivered / dropped / ack_lost accounting
+# ----------------------------------------------------------------------
+def test_network_delivered_counts_rows_not_retransmits():
+    """Regression: delivered was incremented once per *arrival*, so lost
+    acks inflated it past the row count."""
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.0, ack_loss_rate=0.4,
+                       max_retries=16, seed=10)
+    source = store_of(20)
+    ok, failed = ResultUploader(link).upload(source)
+    assert (ok, failed) == (60, 0)
+    assert link.stats.delivered == 60          # once per row, exactly
+    assert cloud.duplicates > 0                # retransmissions happened
+
+
+def test_network_ack_loss_not_counted_as_dropped():
+    """Regression: a lost ack was booked under ``dropped`` even though
+    the packet arrived; it now has its own ``ack_lost`` counter."""
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.0, ack_loss_rate=0.4,
+                       max_retries=16, seed=11)
+    ResultUploader(link).upload(store_of(20))
+    assert link.stats.dropped == 0
+    assert link.stats.ack_lost > 0
+    assert link.stats.attempts == link.stats.delivered + link.stats.ack_lost
+
+
+# ----------------------------------------------------------------------
+# Injected fault bursts (deterministic, from a FaultPlan)
+# ----------------------------------------------------------------------
+def test_serial_injected_corruption_burst_converges():
+    from repro.core.faults import FaultBurst, FaultInjector, FaultPlan
+
+    plan = FaultPlan(corruption_bursts=(FaultBurst(first_row=0, rows=5,
+                                                   depth=2),))
+    injector = FaultInjector(plan)
+    cloud = CloudStore()
+    link = SerialLink(cloud, bit_error_rate=0.0, max_retries=4, seed=12,
+                      fault_injector=injector)
+    source = store_of(4)  # 12 rows; burst dooms rows 0-4 twice each
+    ok, failed = ResultUploader(link).upload(source)
+    assert (ok, failed) == (12, 0)
+    assert injector.stats.corrupted_frames == 10
+    assert link.stats.corrupted == 10
+    assert cloud.to_store().to_csv_text() == source.to_csv_text()
+
+
+def test_network_injected_loss_burst_converges():
+    from repro.core.faults import FaultBurst, FaultInjector, FaultPlan
+
+    plan = FaultPlan(loss_bursts=(FaultBurst(first_row=3, rows=4, depth=3),))
+    injector = FaultInjector(plan)
+    cloud = CloudStore()
+    link = NetworkLink(cloud, loss_rate=0.0, ack_loss_rate=0.0,
+                       max_retries=4, seed=13, fault_injector=injector)
+    source = store_of(4)
+    ok, failed = ResultUploader(link).upload(source)
+    assert (ok, failed) == (12, 0)
+    assert injector.stats.dropped_packets == 12  # 4 rows x 3 attempts
+    assert link.stats.dropped == 12
+    assert cloud.to_store().to_csv_text() == source.to_csv_text()
+
+
+def test_serial_burst_deeper_than_retries_gives_up_cleanly():
+    from repro.core.faults import FaultBurst, FaultInjector, FaultPlan
+
+    plan = FaultPlan(corruption_bursts=(FaultBurst(first_row=0, rows=1,
+                                                   depth=10),))
+    cloud = CloudStore()
+    link = SerialLink(cloud, bit_error_rate=0.0, max_retries=2, seed=14,
+                      fault_injector=FaultInjector(plan))
+    ok, failed = ResultUploader(link).upload(store_of(1))
+    assert failed == 1                      # row 0 exhausted its retries
+    assert ok == 2
+    assert len(cloud) == 2                  # and never polluted the store

@@ -1,6 +1,5 @@
 """Unit-convention helpers."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ from repro.core.vmin import VminSearch
 from repro.errors import SearchError
 from repro.soc.chip import Chip
 from repro.soc.corners import ProcessCorner
-from repro.soc.topology import CoreId
 from repro.workloads.spec import spec_workload
 
 

@@ -66,3 +66,46 @@ def test_invalid_configuration_rejected():
     dog = Watchdog()
     with pytest.raises(ConfigurationError):
         dog.supervise(RunOutcome.CORRECT, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Escalation fraction: long-run rate must equal 1 - reset_success_rate
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("rate", [0.0, 0.05, 0.1, 0.25, 1.0 / 3.0, 0.4,
+                                  0.5, 0.6, 2.0 / 3.0, 0.75, 0.8, 0.9,
+                                  0.99, 1.0])
+def test_escalation_fraction_tracks_reset_failure(rate):
+    """Over N hangs, power cycles must track N * (1 - rate) within one
+    event, for *every* rate in [0, 1] -- not just rates above 0.5.
+
+    Regression: the old ``escalate_every = round(1 / (1 - rate))``
+    collapsed to 1 for every rate below 0.5, power-cycling on *all*
+    hangs (e.g. rate=0.4 escalated 100% of the time instead of 60%).
+    """
+    dog = Watchdog(reset_success_rate=rate)
+    hangs = 400
+    power_cycles = sum(
+        1 for _ in range(hangs)
+        if dog.supervise(RunOutcome.HANG, 300.0).verdict
+        is WatchdogVerdict.TIMEOUT_POWER)
+    assert abs(power_cycles - hangs * (1.0 - rate)) <= 1.0 + 1e-6
+
+
+def test_escalation_schedule_low_rate_exact_pattern():
+    """rate=0.25: 3 of every 4 hangs escalate, starting at the 2nd."""
+    dog = Watchdog(reset_success_rate=0.25)
+    verdicts = [dog.supervise(RunOutcome.HANG, 300.0).verdict
+                for _ in range(8)]
+    escalated = [v is WatchdogVerdict.TIMEOUT_POWER for v in verdicts]
+    assert escalated == [False, True, True, True, False, True, True, True]
+
+
+def test_escalation_extremes_unchanged():
+    """rate=1 never escalates; rate=0 always escalates."""
+    perfect = Watchdog(reset_success_rate=1.0)
+    broken = Watchdog(reset_success_rate=0.0)
+    for _ in range(20):
+        assert perfect.supervise(RunOutcome.HANG, 300.0).verdict \
+            is WatchdogVerdict.TIMEOUT_RESET
+        assert broken.supervise(RunOutcome.HANG, 300.0).verdict \
+            is WatchdogVerdict.TIMEOUT_POWER

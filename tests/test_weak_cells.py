@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dram.cells import DramDevicePopulation, WeakCellMap, sample_weak_cell_count
+from repro.dram.cells import WeakCellMap, sample_weak_cell_count
 from repro.dram.geometry import BankAddress
 from repro.errors import ConfigurationError
 from repro.rand import make_rng

@@ -4,8 +4,8 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.workloads.base import CpuWorkload, DramProfile, Workload
-from repro.workloads.nas import NAS_WORKLOADS, nas_suite, nas_workload
-from repro.workloads.rodinia import RODINIA_WORKLOADS, rodinia_suite, rodinia_workload
+from repro.workloads.nas import nas_suite, nas_workload
+from repro.workloads.rodinia import rodinia_suite, rodinia_workload
 from repro.workloads.spec import SPEC_WORKLOADS, spec_suite, spec_workload
 
 
