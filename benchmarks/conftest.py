@@ -9,6 +9,9 @@ and times the core computation with pytest-benchmark. Run with::
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 BENCH_SEED = 1
@@ -23,3 +26,18 @@ def emit(title: str, body: str) -> None:
     """Print a bench's regenerated figure under a clear banner."""
     bar = "=" * 72
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def emit_json(name: str, payload: dict) -> str:
+    """Persist machine-readable bench results as ``BENCH_<name>.json``.
+
+    Written to ``$BENCH_JSON_DIR`` (default: the repo root), so CI can
+    collect every ``BENCH_*.json`` as one artifact. Returns the path.
+    """
+    default_dir = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out_dir = os.environ.get("BENCH_JSON_DIR", default_dir)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -13,14 +13,29 @@ The model is deliberately behavioural: each instruction class occupies
 the pipeline for its ``cycles`` and contributes its ``current`` during
 that occupancy, with a one-pole low-pass smoothing that stands in for
 pipeline overlap and the package's local decoupling.
+
+Waveform synthesis is fully vectorized: one loop traversal is assembled
+from precomputed per-class (occupancy, level) signatures with
+``np.repeat`` and tiled across the window, and the smoothing filter runs
+as a blocked parallel scan. :meth:`ExecutionModel.waveform_block` stacks
+the waveforms of a whole batch of loops -- the GA's batched fitness path
+-- with every row bit-identical to the serial :meth:`profile` output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
 import numpy as np
 
-from repro.cpu.isa import MAX_CLASS_CURRENT, MIN_CLASS_CURRENT, spec_of
+from repro.cpu.isa import (
+    INSTRUCTION_SPECS,
+    MAX_CLASS_CURRENT,
+    MIN_CLASS_CURRENT,
+    spec_of,
+)
 from repro.cpu.kernels import InstructionLoop
 from repro.errors import ConfigurationError
 
@@ -31,6 +46,22 @@ STATIC_CURRENT = 0.05
 #: on-die decoupling; chosen well below the PDN resonance period so the
 #: resonant component of the waveform survives.
 SMOOTHING_CYCLES = 4.0
+
+#: Per-class synthesis signatures, precomputed once: pipeline occupancy
+#: in whole cycles and the waveform level held during that occupancy.
+_CLASS_INDEX = {klass: i for i, klass in enumerate(INSTRUCTION_SPECS)}
+_CLASS_OCCUPANCY = np.array(
+    [max(1, round(spec.cycles)) for spec in INSTRUCTION_SPECS.values()],
+    dtype=np.intp)
+_CLASS_LEVEL = np.array(
+    [STATIC_CURRENT + (1.0 - STATIC_CURRENT) * spec.current
+     for spec in INSTRUCTION_SPECS.values()])
+
+#: Block size of the low-pass parallel scan. The per-row kernel shape is
+#: fixed by this constant (never by the batch size), so a waveform's
+#: filtered samples are bit-identical whether it is smoothed alone or as
+#: one row of a batch.
+_SCAN_CHUNK = 128
 
 
 @dataclass(frozen=True)
@@ -96,21 +127,32 @@ class ExecutionModel:
 
     def raw_waveform(self, loop: InstructionLoop) -> np.ndarray:
         """Unsmoothed per-cycle current over one window (values [0,1])."""
-        cycles: list = []
-        while len(cycles) < self.window_cycles:
-            for klass in loop.body:
-                spec = spec_of(klass)
-                occupancy = max(1, round(spec.cycles))
-                level = STATIC_CURRENT + (1.0 - STATIC_CURRENT) * spec.current
-                cycles.extend([level] * occupancy)
-                if len(cycles) >= self.window_cycles:
-                    break
-        return np.asarray(cycles[: self.window_cycles])
+        idx = np.fromiter((_CLASS_INDEX[k] for k in loop.body),
+                          dtype=np.intp, count=len(loop))
+        one_pass = np.repeat(_CLASS_LEVEL[idx], _CLASS_OCCUPANCY[idx])
+        repeats = -(-self.window_cycles // len(one_pass))  # ceil division
+        return np.tile(one_pass, repeats)[: self.window_cycles]
+
+    def smoothed_waveform(self, loop: InstructionLoop) -> np.ndarray:
+        """The filtered per-cycle waveform (the :meth:`profile` waveform
+        without the counter computation -- the fitness hot path)."""
+        return _one_pole_lowpass(self.raw_waveform(loop), SMOOTHING_CYCLES)
+
+    def waveform_block(self, loops: Sequence[InstructionLoop]) -> np.ndarray:
+        """Stacked smoothed waveforms of ``loops``, shape ``(N, window)``.
+
+        Row ``i`` is bit-identical to ``profile(loops[i]).waveform``:
+        synthesis and smoothing run per row with batch-size-independent
+        kernels, so batched and serial fitness evaluations agree exactly
+        (the property ``tests/test_em_batch.py`` asserts).
+        """
+        if not loops:
+            return np.empty((0, self.window_cycles))
+        return np.stack([self.smoothed_waveform(loop) for loop in loops])
 
     def profile(self, loop: InstructionLoop) -> ExecutionProfile:
         """Simulate ``loop`` and return waveform + counters."""
-        raw = self.raw_waveform(loop)
-        waveform = _one_pole_lowpass(raw, SMOOTHING_CYCLES)
+        waveform = self.smoothed_waveform(loop)
 
         total_instr = len(loop)
         total_cycles = loop.total_cycles
@@ -148,14 +190,51 @@ class ExecutionModel:
         return min(1.0, swing / headroom)
 
 
-def _one_pole_lowpass(signal: np.ndarray, tau_cycles: float) -> np.ndarray:
-    """First-order IIR low-pass, vectorized via lfilter-style recurrence."""
+@lru_cache(maxsize=8)
+def _scan_kernel(tau_cycles: float, chunk: int):
+    """Precomputed blocked-scan operators for one smoothing constant.
+
+    ``toeplitz[i, k] = beta**(i-k)`` (lower-triangular) turns the intra-
+    chunk recurrence into one matmul; ``powers[i] = beta**(i+1)`` carries
+    the pre-chunk filter state across the chunk.
+    """
     alpha = 1.0 / (1.0 + tau_cycles)
-    out = np.empty_like(signal, dtype=float)
-    state = float(signal[0])
-    # The loop is short (<= window_cycles) and runs rarely; clarity over
-    # vectorization tricks here.
-    for i, sample in enumerate(signal):
-        state += alpha * (float(sample) - state)
-        out[i] = state
-    return out
+    beta = 1.0 - alpha
+    steps = np.arange(chunk)
+    lags = steps[:, None] - steps[None, :]
+    toeplitz = np.where(lags >= 0, beta ** np.abs(lags), 0.0)
+    powers = beta ** np.arange(1, chunk + 1)
+    toeplitz.setflags(write=False)
+    powers.setflags(write=False)
+    return alpha, toeplitz, powers
+
+
+def _one_pole_lowpass(signal: np.ndarray, tau_cycles: float) -> np.ndarray:
+    """First-order IIR low-pass as a blocked parallel scan.
+
+    Computes ``y[i] = beta * y[i-1] + alpha * x[i]`` (primed with
+    ``y[-1] = x[0]``) without a per-sample Python loop: each chunk's
+    response to its own input is one matmul against a precomputed
+    lower-triangular Toeplitz operator, and the carried filter state is
+    a short scalar recurrence over chunk boundaries.
+    """
+    x = np.asarray(signal, dtype=float)
+    n = x.shape[-1]
+    alpha, toeplitz, powers = _scan_kernel(tau_cycles, _SCAN_CHUNK)
+    pad = (-n) % _SCAN_CHUNK
+    padded = np.concatenate([x, np.zeros(pad)]) if pad else x
+    chunks = padded.reshape(-1, _SCAN_CHUNK)
+    local = alpha * (chunks @ toeplitz.T)
+    # Carry the filter state across chunks: carry into chunk c+1 is the
+    # last sample of chunk c, itself local response + decayed carry.
+    decay = powers[-1]
+    carries = np.empty(len(chunks))
+    carry = float(x[0])
+    for c in range(len(chunks)):
+        carries[c] = carry
+        carry = local[c, -1] + decay * carry
+    out = local + powers * carries[:, None]
+    # The filter output is a convex combination of input samples, so it
+    # can never legitimately leave the input's range; clamp the ~1-ulp
+    # excursions the Toeplitz matmul's rounding can introduce.
+    return np.clip(out.reshape(-1)[:n], x.min(), x.max())

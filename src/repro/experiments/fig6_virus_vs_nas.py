@@ -19,9 +19,9 @@ from repro.experiments.common import (
     format_table,
     vmin_search_unit,
 )
-from repro.rand import SeedLike
+from repro.rand import SeedLike, derive_seed
 from repro.soc.corners import ProcessCorner
-from repro.viruses.didt import DidtVirus, evolve_didt_virus
+from repro.viruses.didt import DidtVirus, GaSearchTask, didt_search_unit
 from repro.workloads.base import CpuWorkload, Workload
 from repro.workloads.nas import nas_suite
 
@@ -87,15 +87,21 @@ def run_figure6(seed: SeedLike = None, repetitions: int = 10,
                 jobs: int = 1, faults: Optional[int] = None) -> Figure6Result:
     """Evolve the virus and compare against NAS on the TTT part.
 
-    The GA evolves in the parent process (it is inherently sequential);
-    the virus-plus-NAS Vmin ladders then fan out as independent units
-    when ``jobs > 1``, with results identical to the serial pass.
+    The GA search ships as a self-contained work unit through the same
+    process-parallel engine as the Vmin ladders, keyed by an integer
+    seed derived from the campaign seed -- so the evolved virus is
+    bit-identical at any ``jobs`` count (and survives injected worker
+    kills). The virus-plus-NAS Vmin ladders then fan out as independent
+    units when ``jobs > 1``, with results identical to the serial pass.
     ``faults`` seeds an injected worker-kill schedule (killed units
     re-execute; results are unchanged).
     """
-    virus = evolve_didt_virus(seed=seed, generations=generations,
-                              population=population)
-    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
+    base = resolve_seed(seed)
+    ga_tasks: List[GaSearchTask] = [
+        (derive_seed(base, "fig6-ga"), generations, population, 3)]
+    virus, _ = parallel_map(
+        didt_search_unit, ga_tasks, jobs=jobs,
+        fault_injector=fault_injector_for(faults, len(ga_tasks)))[0]
     workloads = [virus_as_workload(virus)] + list(nas_suite())
     tasks: List[VminTask] = [(base, ProcessCorner.TTT, workload, repetitions)
                              for workload in workloads]

@@ -20,9 +20,9 @@ from repro.experiments.common import (
     vmin_search_unit,
 )
 from repro.experiments.fig6_virus_vs_nas import virus_as_workload
-from repro.rand import SeedLike
+from repro.rand import SeedLike, derive_seed
 from repro.soc.corners import NOMINAL_PMD_MV, ProcessCorner
-from repro.viruses.didt import DidtVirus, evolve_didt_virus
+from repro.viruses.didt import DidtVirus, GaSearchTask, didt_search_unit
 
 #: Paper-reported virus margins below the 980 mV nominal (mV).
 PAPER_MARGINS_MV: Dict[str, float] = {"TTT": 60.0, "TFF": 20.0, "TSS": 0.0}
@@ -32,8 +32,13 @@ PAPER_MARGINS_MV: Dict[str, float] = {"TTT": 60.0, "TFF": 20.0, "TSS": 0.0}
 class Figure7Result:
     """Per-chip virus Vmin and margin."""
 
-    virus: DidtVirus
+    viruses: Dict[str, DidtVirus]
     virus_vmin_mv: Dict[str, float]
+
+    @property
+    def virus(self) -> DidtVirus:
+        """The typical-part virus (back-compat with single-virus callers)."""
+        return self.viruses["TTT"]
 
     def margin_mv(self, corner: str) -> float:
         return NOMINAL_PMD_MV - self.virus_vmin_mv[corner]
@@ -69,26 +74,37 @@ class Figure7Result:
 def run_figure7(seed: SeedLike = None, repetitions: int = 10,
                 generations: int = 25, population: int = 32,
                 jobs: int = 1, faults: Optional[int] = None) -> Figure7Result:
-    """Evolve one virus and measure it on all three reference parts.
+    """Evolve one virus per chip and measure each on its own part.
 
-    The virus evolves once in the parent; the three per-chip ladders are
-    independent units that fan out across processes when ``jobs > 1``,
-    bit-identical to the serial pass. ``faults`` seeds an injected
-    worker-kill schedule (killed units re-execute; results unchanged).
+    As in the paper's per-part characterization, each reference chip
+    gets its own EM-guided search. The three GA arms are independent
+    work units keyed by integer seeds derived from the campaign seed,
+    sharded through the same process-parallel engine as the Vmin
+    ladders -- bit-identical at any ``jobs`` count. ``faults`` seeds an
+    injected worker-kill schedule (killed units re-execute; results
+    unchanged).
     """
-    virus = evolve_didt_virus(seed=seed, generations=generations,
-                              population=population)
-    workload = virus_as_workload(virus)
-    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
-    tasks: List[VminTask] = [(base, corner, workload, repetitions)
-                             for corner in ProcessCorner]
+    base = resolve_seed(seed)
+    corners = list(ProcessCorner)
+    ga_tasks: List[GaSearchTask] = [
+        (derive_seed(base, "fig7-ga", idx), generations, population, 3)
+        for idx in range(len(corners))]
+    viruses = [virus for virus, _ in parallel_map(
+        didt_search_unit, ga_tasks, jobs=jobs,
+        fault_injector=fault_injector_for(faults, len(ga_tasks)))]
+    tasks: List[VminTask] = [
+        (base, corner, virus_as_workload(virus), repetitions)
+        for corner, virus in zip(corners, viruses)]
     results = parallel_map(vmin_search_unit, tasks, jobs=jobs,
                            fault_injector=fault_injector_for(faults, len(tasks)))
     vmin_mv: Dict[str, float] = {
         corner.value: result.safe_vmin_mv
-        for corner, result in zip(ProcessCorner, results)
+        for corner, result in zip(corners, results)
     }
-    return Figure7Result(virus=virus, virus_vmin_mv=vmin_mv)
+    return Figure7Result(
+        viruses={corner.value: virus
+                 for corner, virus in zip(corners, viruses)},
+        virus_vmin_mv=vmin_mv)
 
 
 #: Uniform entry point: every experiment module exposes ``run(seed=...)``.

@@ -17,17 +17,27 @@ pickup restores the ``w``), so the radiated spectrum tracks
 band-limit around the resonance and measurement noise, so the proxy is
 strong but imperfect, as in reality. ``tests/test_em_proxy.py``
 quantifies the correlation.
+
+Measurement noise follows a *counter-based* protocol: read ``r`` of
+evaluation ``e`` draws from ``substream(seed, "em-read", e, r)``, where
+``e`` is a per-sensor evaluation counter. Each logical measurement
+(:meth:`EmSensor.measure` / :meth:`EmSensor.measure_averaged`) consumes
+one counter value and :meth:`EmSensor.measure_block` consumes one per
+stacked waveform, so a block measurement of N waveforms is bit-identical
+to N serial measurements -- the property that lets the GA batch its
+fitness evaluations without perturbing a single result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.pdn.rlc import DEFAULT_PDN, PdnModel
-from repro.rand import SeedLike, substream
+from repro.rand import DEFAULT_SEED, SeedLike, substream
 
 
 @dataclass(frozen=True)
@@ -56,7 +66,10 @@ class EmSensor:
         Additive measurement noise sigma, relative units. Real EM
         measurements are noisy; the GA must average across reads.
     seed:
-        Seed for the measurement-noise stream.
+        Seed of the counter-based measurement-noise protocol. An integer
+        (or ``None``) keys the protocol directly; a live generator
+        contributes one draw so the derived base stays stable for the
+        sensor's lifetime.
     """
 
     def __init__(self, pdn: PdnModel = None, bandwidth_hz: float = 30e6,
@@ -66,41 +79,131 @@ class EmSensor:
         self.pdn = pdn or PdnModel(DEFAULT_PDN)
         self.bandwidth_hz = bandwidth_hz
         self.noise_floor = noise_floor
-        self._rng = substream(seed, "em-sensor")
+        if isinstance(seed, np.random.Generator):
+            self._noise_seed = int(seed.integers(0, 2**31 - 1))
+        else:
+            self._noise_seed = DEFAULT_SEED if seed is None else int(seed)
+        #: Evaluation counter of the noise protocol: the next logical
+        #: measurement draws its reads from ``(seed, "em-read", counter, r)``.
+        self._next_eval = 0
+        self._window_cache: Dict[Tuple[int, float], np.ndarray] = {}
 
+    # ------------------------------------------------------------------
+    # Deterministic (noise-free) part
+    # ------------------------------------------------------------------
+    def _receiver_window(self, n: int, sample_rate_hz: float,
+                         freqs: np.ndarray) -> np.ndarray:
+        """Cached Gaussian receiver window for ``n``-point spectra."""
+        key = (n, sample_rate_hz)
+        window = self._window_cache.get(key)
+        if window is None:
+            f_res = self.pdn.params.resonant_freq_hz
+            window = np.exp(-0.5 * ((freqs - f_res) / self.bandwidth_hz) ** 2)
+            window.setflags(write=False)
+            self._window_cache[key] = window
+        return window
+
+    def clean_block(self, waveforms: np.ndarray, freq_ghz: float,
+                    current_scale_a: float = 10.0
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Noise-free amplitudes + peak frequencies of stacked waveforms.
+
+        ``waveforms`` is one waveform or an ``(N, n)`` stack of
+        same-length waveforms; the whole stack goes through a single
+        ``np.fft.rfft(..., axis=-1)`` against the cached impedance curve
+        and receiver window. Per-row results are bit-identical at any
+        stack size, so callers may group however they like.
+        """
+        block = np.atleast_2d(np.asarray(waveforms, dtype=float))
+        n = block.shape[-1]
+        sample_rate_hz = freq_ghz * 1e9
+        freqs, impedance = self.pdn.spectral_grid(n, sample_rate_hz)
+        window = self._receiver_window(n, sample_rate_hz, freqs)
+        current = (block - block.mean(axis=-1, keepdims=True)) * current_scale_a
+        spectrum = np.abs(np.fft.rfft(current, axis=-1)) / n * 2.0
+        radiated = impedance * spectrum * window
+        peak_idx = np.argmax(radiated, axis=-1)
+        rows = np.arange(block.shape[0])
+        # Normalize to convenient units (~1 for a full-swing resonant
+        # square wave at the resonance).
+        amplitudes = radiated[rows, peak_idx] / (
+            self.pdn.peak_impedance_ohm() * current_scale_a)
+        return amplitudes, freqs[peak_idx]
+
+    # ------------------------------------------------------------------
+    # Counter-based receiver noise
+    # ------------------------------------------------------------------
+    def _noise(self, eval_index: int, repeat: int) -> float:
+        """Receiver noise of read ``repeat`` within evaluation ``eval_index``."""
+        rng = substream(self._noise_seed, "em-read", eval_index, repeat)
+        return float(rng.normal(0.0, self.noise_floor))
+
+    def read_amplitude(self, clean_amplitude: float, repeats: int = 1) -> float:
+        """Turn a noise-free amplitude into one noisy (averaged) reading.
+
+        Consumes exactly one evaluation counter value; the ``repeats``
+        reads are clamped at zero individually (a receiver cannot report
+        negative amplitude) and then averaged. Callers that memoize the
+        deterministic amplitude (the GA's batched fitness) still consume
+        counters one per evaluation, keeping them aligned with a fully
+        serial evaluator.
+        """
+        if repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+        eval_index = self._next_eval
+        self._next_eval += 1
+        reads = [max(0.0, float(clean_amplitude) + self._noise(eval_index, r))
+                 for r in range(repeats)]
+        return float(np.mean(reads))
+
+    # ------------------------------------------------------------------
+    # Measurement API
+    # ------------------------------------------------------------------
     def measure(self, waveform: np.ndarray, freq_ghz: float,
                 current_scale_a: float = 10.0) -> EmReading:
         """Measure the radiated amplitude of a current waveform.
 
         The probe output is ``|Z(w)| * I(w) * G(w)`` -- the tank-current
         pickup shaped by a Gaussian receiver window ``G`` around the PDN
-        resonance -- plus additive receiver noise.
+        resonance -- plus additive receiver noise. The reported peak
+        frequency comes from the noise-free radiated spectrum.
         """
-        n = len(waveform)
-        sample_rate_hz = freq_ghz * 1e9
-        current = (np.asarray(waveform, float) - np.mean(waveform)) * current_scale_a
-        spectrum = np.abs(np.fft.rfft(current)) / n * 2.0
-        freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
-        f_res = self.pdn.params.resonant_freq_hz
-        window = np.exp(-0.5 * ((freqs - f_res) / self.bandwidth_hz) ** 2)
-        radiated = self.pdn.impedance_ohm(freqs) * spectrum * window
-        peak_idx = int(np.argmax(radiated))
-        # Normalize to convenient units (~1 for a full-swing resonant
-        # square wave) and add receiver noise.
-        amplitude = float(radiated[peak_idx]) / (
-            self.pdn.peak_impedance_ohm() * current_scale_a)
-        noisy = max(0.0, amplitude + self._rng.normal(0.0, self.noise_floor))
-        return EmReading(amplitude=noisy, peak_freq_hz=float(freqs[peak_idx]))
+        amplitudes, peaks = self.clean_block(waveform, freq_ghz, current_scale_a)
+        noisy = self.read_amplitude(float(amplitudes[0]), repeats=1)
+        return EmReading(amplitude=noisy, peak_freq_hz=float(peaks[0]))
 
     def measure_averaged(self, waveform: np.ndarray, freq_ghz: float,
                          repeats: int = 4,
                          current_scale_a: float = 10.0) -> EmReading:
-        """Average ``repeats`` reads to knock down receiver noise."""
+        """Average ``repeats`` reads to knock down receiver noise.
+
+        The peak frequency derives from the noise-free radiated spectrum
+        (receiver noise only perturbs amplitude), so the reported
+        resonance never depends on read ordering.
+        """
         if repeats < 1:
             raise ConfigurationError("repeats must be >= 1")
-        readings = [self.measure(waveform, freq_ghz, current_scale_a)
-                    for _ in range(repeats)]
-        return EmReading(
-            amplitude=float(np.mean([r.amplitude for r in readings])),
-            peak_freq_hz=readings[0].peak_freq_hz,
-        )
+        amplitudes, peaks = self.clean_block(waveform, freq_ghz, current_scale_a)
+        noisy = self.read_amplitude(float(amplitudes[0]), repeats=repeats)
+        return EmReading(amplitude=noisy, peak_freq_hz=float(peaks[0]))
+
+    def measure_block(self, waveforms: np.ndarray, freq_ghz: float,
+                      repeats: int = 1,
+                      current_scale_a: float = 10.0) -> List[EmReading]:
+        """Measure N stacked same-length waveforms in one spectral pass.
+
+        Bit-identical to N serial :meth:`measure_averaged` calls with the
+        same ``repeats`` (and to :meth:`measure` when ``repeats == 1``):
+        the deterministic amplitudes come from one batched FFT whose rows
+        match the serial computation exactly, and row ``i`` consumes
+        evaluation counter ``counter + i`` -- the same noise a serial
+        caller would have drawn.
+        """
+        if repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+        amplitudes, peaks = self.clean_block(waveforms, freq_ghz, current_scale_a)
+        return [
+            EmReading(amplitude=self.read_amplitude(float(amp), repeats=repeats),
+                      peak_freq_hz=float(peak))
+            for amp, peak in zip(amplitudes, peaks)
+        ]

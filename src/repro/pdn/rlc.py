@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -68,11 +70,39 @@ DEFAULT_PDN = PdnParams(
 )
 
 
+@lru_cache(maxsize=64)
+def _cached_spectral_grid(params: PdnParams, n: int,
+                          sample_rate_hz: float) -> Tuple[np.ndarray, np.ndarray]:
+    """One-sided frequency grid + impedance curve for n-point spectra.
+
+    Spectral analysis of every same-length waveform against the same PDN
+    reuses this pair, so batched fitness evaluation never recomputes the
+    impedance curve. The arrays are frozen read-only: they are shared
+    across callers.
+    """
+    freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
+    impedance = PdnModel(params).impedance_ohm(freqs)
+    freqs.setflags(write=False)
+    impedance.setflags(write=False)
+    return freqs, impedance
+
+
 class PdnModel:
     """Impedance and droop analysis over a PDN parameter set."""
 
     def __init__(self, params: PdnParams = DEFAULT_PDN) -> None:
         self.params = params
+        self._peak_impedance: Optional[float] = None
+
+    def spectral_grid(self, n: int,
+                      sample_rate_hz: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(rfft frequencies, |Z|)`` pair for ``n``-point spectra.
+
+        The values are exactly ``np.fft.rfftfreq(n, 1/rate)`` and
+        :meth:`impedance_ohm` over it -- computed once per
+        ``(params, n, rate)`` and shared (read-only) thereafter.
+        """
+        return _cached_spectral_grid(self.params, int(n), float(sample_rate_hz))
 
     def impedance_ohm(self, freq_hz: np.ndarray) -> np.ndarray:
         """|Z(f)| of the parallel RLC tank seen by the die.
@@ -91,8 +121,11 @@ class PdnModel:
         return np.where(w > 0, z, self.params.resistance_ohm)
 
     def peak_impedance_ohm(self) -> float:
-        """Impedance magnitude at the resonance."""
-        return float(self.impedance_ohm(np.array([self.params.resonant_freq_hz]))[0])
+        """Impedance magnitude at the resonance (computed once)."""
+        if self._peak_impedance is None:
+            self._peak_impedance = float(
+                self.impedance_ohm(np.array([self.params.resonant_freq_hz]))[0])
+        return self._peak_impedance
 
     def droop_spectrum(self, waveform: np.ndarray, freq_ghz: float,
                        current_scale_a: float = 10.0) -> np.ndarray:
@@ -109,8 +142,8 @@ class PdnModel:
         sample_rate_hz = freq_ghz * 1e9
         current = (np.asarray(waveform, dtype=float) - np.mean(waveform)) * current_scale_a
         spectrum = np.fft.rfft(current) / n
-        freqs = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
-        return 2.0 * np.abs(spectrum) * self.impedance_ohm(freqs)
+        _, impedance = self.spectral_grid(n, sample_rate_hz)
+        return 2.0 * np.abs(spectrum) * impedance
 
     def worst_droop_v(self, waveform: np.ndarray, freq_ghz: float,
                       current_scale_a: float = 10.0) -> float:

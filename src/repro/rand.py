@@ -37,12 +37,17 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def substream(seed: SeedLike, label: str, index: Optional[int] = None) -> np.random.Generator:
+def substream(seed: SeedLike, label: str, *indices: int,
+              index: Optional[int] = None) -> np.random.Generator:
     """Derive an independent generator for the component named ``label``.
 
-    The derivation hashes the label (and optional index) into the seed
-    sequence, so streams for different labels are decorrelated and stable
-    across library versions.
+    The derivation hashes the label (and any number of integer indices)
+    into the seed sequence, so streams for different labels are
+    decorrelated and stable across library versions. Multi-index streams
+    are the basis of counter-based noise protocols: e.g. the EM sensor
+    draws read ``r`` of evaluation ``e`` from
+    ``substream(seed, "em-read", e, r)``, so a batched evaluator and a
+    serial one consume identical noise regardless of call grouping.
     """
     base = seed if isinstance(seed, int) else DEFAULT_SEED if seed is None else None
     if base is None:
@@ -53,6 +58,19 @@ def substream(seed: SeedLike, label: str, index: Optional[int] = None) -> np.ran
         base = int(seed.integers(0, 2**31 - 1))
     key = zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
     parts = [base, key]
+    parts.extend(int(i) for i in indices)
     if index is not None:
-        parts.append(index)
+        parts.append(int(index))
     return np.random.default_rng(np.random.SeedSequence(parts))
+
+
+def derive_seed(seed: SeedLike, label: str, *indices: int) -> int:
+    """Collapse ``(seed, label, indices)`` into one stable integer seed.
+
+    The parallel engine ships integer seeds to worker processes (a live
+    generator cannot be re-derived identically on a worker), so shard
+    arms -- per-chip GA searches, ablation arms -- each get one of these:
+    decorrelated from every other arm and independent of which process
+    executes the arm or in what order.
+    """
+    return int(substream(seed, label, *indices).integers(0, 2**63 - 1))

@@ -6,6 +6,17 @@ the search engine: tournament selection, one-point crossover on loop
 bodies, per-gene mutation with an alphabet swap / insert / delete mix,
 and elitism. The fitness function is injected, so the same engine serves
 the EM-guided dI/dt search and any ablation (e.g. droop-oracle fitness).
+
+The engine supports a batched evaluation mode: pass ``batch_fitness``
+and every generation is scored in one call instead of one call per
+genome. Genome operators draw no randomness during evaluation, so the
+two modes walk identical populations; a batch fitness whose noise
+follows a counter-based protocol (see :class:`repro.pdn.em.EmSensor`)
+makes them bit-identical end to end -- same best loop, same history,
+same evaluation count. Batch implementations are expected to
+deduplicate identical genomes within a batch and memoize the
+deterministic part of the fitness across generations (see
+:class:`repro.viruses.didt.EmFitness`).
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from repro.errors import SearchError
 from repro.rand import SeedLike, substream
 
 FitnessFn = Callable[[InstructionLoop], float]
+BatchFitnessFn = Callable[[Sequence[InstructionLoop]], Sequence[float]]
 
 
 @dataclass(frozen=True)
@@ -78,10 +90,12 @@ class GeneticAlgorithm:
 
     def __init__(self, fitness: FitnessFn, config: GaConfig = GaConfig(),
                  alphabet: Sequence[InstrClass] = GA_ALPHABET,
-                 seed: SeedLike = None) -> None:
+                 seed: SeedLike = None,
+                 batch_fitness: Optional[BatchFitnessFn] = None) -> None:
         if not alphabet:
             raise SearchError("alphabet cannot be empty")
         self.fitness = fitness
+        self.batch_fitness = batch_fitness
         self.config = config
         self.alphabet = tuple(alphabet)
         self._rng = substream(seed, "ga")
@@ -119,9 +133,25 @@ class GeneticAlgorithm:
                 genes.pop(int(self._rng.integers(len(genes))))
         return InstructionLoop.of(genes)
 
-    def _evaluate(self, loop: InstructionLoop) -> Individual:
-        self._evaluations += 1
-        return Individual(loop=loop, fitness=float(self.fitness(loop)))
+    def _evaluate_all(self, loops: Sequence[InstructionLoop]) -> List[Individual]:
+        """Score a cohort of genomes: one batched call when available.
+
+        Evaluation draws nothing from the GA's own random stream, so
+        scoring a whole generation after generating it is operator-order
+        identical to the interleaved serial loop.
+        """
+        loops = list(loops)
+        self._evaluations += len(loops)
+        if self.batch_fitness is not None:
+            scores = list(self.batch_fitness(loops))
+            if len(scores) != len(loops):
+                raise SearchError(
+                    f"batch fitness returned {len(scores)} scores "
+                    f"for {len(loops)} genomes")
+            return [Individual(loop=loop, fitness=float(score))
+                    for loop, score in zip(loops, scores)]
+        return [Individual(loop=loop, fitness=float(self.fitness(loop)))
+                for loop in loops]
 
     def _tournament(self, population: List[Individual]) -> Individual:
         picks = self._rng.integers(len(population), size=self.config.tournament_size)
@@ -138,26 +168,26 @@ class GeneticAlgorithm:
         (e.g. the previous chip's virus when re-characterizing).
         """
         cfg = self.config
-        population = [self._evaluate(loop) for loop in (seed_loops or [])[:cfg.population_size]]
-        while len(population) < cfg.population_size:
-            population.append(self._evaluate(self._random_loop()))
+        initial: List[InstructionLoop] = list(seed_loops or [])[:cfg.population_size]
+        while len(initial) < cfg.population_size:
+            initial.append(self._random_loop())
+        population = self._evaluate_all(initial)
         history: List[float] = []
         for generation in range(cfg.generations):
             population.sort(key=lambda ind: ind.fitness, reverse=True)
             history.append(population[0].fitness)
             if progress is not None:
                 progress(generation, population[0])
-            next_gen = population[:cfg.elite_count]
-            while len(next_gen) < cfg.population_size:
+            offspring: List[InstructionLoop] = []
+            while cfg.elite_count + len(offspring) < cfg.population_size:
                 parent_a = self._tournament(population)
                 if self._rng.random() < cfg.crossover_rate:
                     parent_b = self._tournament(population)
                     child_loop = self._crossover(parent_a.loop, parent_b.loop)
                 else:
                     child_loop = parent_a.loop
-                child_loop = self._mutate(child_loop)
-                next_gen.append(self._evaluate(child_loop))
-            population = next_gen
+                offspring.append(self._mutate(child_loop))
+            population = population[:cfg.elite_count] + self._evaluate_all(offspring)
         population.sort(key=lambda ind: ind.fitness, reverse=True)
         history.append(population[0].fitness)
         return GaResult(best=population[0], history=tuple(history),

@@ -46,6 +46,25 @@ def test_substream_index_distinguishes():
     assert not np.array_equal(a, b)
 
 
+def test_substream_positional_indices_match_index_kwarg():
+    a = substream(1, "core", 0).random(4)
+    b = substream(1, "core", index=0).random(4)
+    assert np.array_equal(a, b)
+
+
+def test_substream_multi_index_order_matters():
+    a = substream(1, "em-read", 3, 1).random(4)
+    b = substream(1, "em-read", 1, 3).random(4)
+    assert not np.array_equal(a, b)
+
+
+def test_derive_seed_stable_and_decorrelated():
+    from repro.rand import derive_seed
+    assert derive_seed(1, "arm", 0) == derive_seed(1, "arm", 0)
+    assert derive_seed(1, "arm", 0) != derive_seed(1, "arm", 1)
+    assert 0 <= derive_seed(1, "arm", 0) < 2**63
+
+
 def test_substream_none_uses_default_seed():
     a = substream(None, "x").random(4)
     b = substream(DEFAULT_SEED, "x").random(4)
