@@ -36,11 +36,14 @@ from repro.core import (
     GuardbandReport,
     ParallelCampaignExecutor,
     SafeOperatingPoint,
+    SupervisedPool,
+    UnitFailure,
     VminPredictor,
     VminSearch,
     guardband_report,
     select_safe_points,
 )
+from repro.errors import SupervisionError
 from repro.viruses import evolve_didt_virus, dpbench_suite, all_component_viruses
 from repro.dram import (
     BitErrorModel,
@@ -74,6 +77,9 @@ __all__ = [
     "SafeOperatingPoint",
     "SecdedCode",
     "SocTopology",
+    "SupervisedPool",
+    "SupervisionError",
+    "UnitFailure",
     "VminPredictor",
     "VminSearch",
     "XGene2Platform",

@@ -4,19 +4,28 @@ Usage::
 
     python -m repro list
     python -m repro run fig4 [--seed N] [--fast] [--jobs N] [--faults N]
+                             [--real-faults N] [--unit-timeout S]
+                             [--max-retries N]
     python -m repro run all  [--seed N] [--fast] [--jobs N]
-    python -m repro pipeline [--jobs N] [--faults N] [--resume DIR]
+    python -m repro pipeline [--jobs N] [--faults N] [--real-faults N]
+                             [--resume DIR]
 
 ``--fast`` trims repetitions/GA budgets for a quick smoke pass;
 ``--jobs`` fans the shardable experiments (fig4/fig6/fig7/table1) out
 across worker processes -- results are bit-identical at any worker
-count. ``--faults SEED`` injects a deterministic worker-failure
-schedule into the shardable experiments (killed units re-execute;
-results are unchanged). The default settings match the benches.
+count. ``--faults SEED`` injects a deterministic *simulated*
+worker-failure schedule into the shardable experiments and
+``--real-faults SEED`` a schedule of *real* process-level faults
+(worker ``os._exit``, deadline hangs) the supervised engine recovers
+from -- either way, results are unchanged. ``--unit-timeout`` and
+``--max-retries`` tune the supervisor's per-unit deadline and retry
+budget (see :mod:`repro.core.supervisor`). The default settings match
+the benches.
 
 ``pipeline`` exercises the full execution -> transport -> cloud result
 pipeline under injected faults and checkpoint/resume; an interrupted
-study exits with code 3 and resumes from ``--resume DIR``.
+study exits with code 3 and resumes from ``--resume DIR``, skipping
+both completed and quarantined shards.
 
 Experiment ids come from :data:`repro.experiments.REGISTRY`; the lambdas
 below only adapt per-experiment budget knobs to the shared flags.
@@ -36,31 +45,64 @@ def _experiments() -> Dict[str, Callable]:
     from repro.experiments import REGISTRY
 
     def plain(name):
-        return lambda seed, fast, jobs, faults: REGISTRY[name](seed=seed)
+        return lambda seed, fast, jobs, faults, sup: REGISTRY[name](seed=seed)
 
     adapters = {
-        "fig4": lambda seed, fast, jobs, faults: REGISTRY["fig4"](
+        "fig4": lambda seed, fast, jobs, faults, sup: REGISTRY["fig4"](
             seed=seed, repetitions=3 if fast else 10, jobs=jobs,
-            faults=faults),
-        "fig5": lambda seed, fast, jobs, faults: REGISTRY["fig5"](
+            faults=faults, **sup),
+        "fig5": lambda seed, fast, jobs, faults, sup: REGISTRY["fig5"](
             seed=seed, repetitions=3 if fast else 10),
-        "fig6": lambda seed, fast, jobs, faults: REGISTRY["fig6"](
+        "fig6": lambda seed, fast, jobs, faults, sup: REGISTRY["fig6"](
             seed=seed, repetitions=3 if fast else 10,
             generations=8 if fast else 25, population=16 if fast else 32,
-            jobs=jobs, faults=faults),
-        "fig7": lambda seed, fast, jobs, faults: REGISTRY["fig7"](
+            jobs=jobs, faults=faults, **sup),
+        "fig7": lambda seed, fast, jobs, faults, sup: REGISTRY["fig7"](
             seed=seed, repetitions=3 if fast else 10,
             generations=8 if fast else 25, population=16 if fast else 32,
-            jobs=jobs, faults=faults),
-        "table1": lambda seed, fast, jobs, faults: REGISTRY["table1"](
+            jobs=jobs, faults=faults, **sup),
+        "table1": lambda seed, fast, jobs, faults, sup: REGISTRY["table1"](
             seed=seed, regulate=not fast,
-            sample_devices=24 if fast else 72, jobs=jobs, faults=faults),
-        "fig9": lambda seed, fast, jobs, faults: REGISTRY["fig9"](
+            sample_devices=24 if fast else 72, jobs=jobs, faults=faults,
+            **sup),
+        "fig9": lambda seed, fast, jobs, faults, sup: REGISTRY["fig9"](
             seed=seed, repetitions=3 if fast else 10),
-        "multiprocess": lambda seed, fast, jobs, faults: REGISTRY[
+        "multiprocess": lambda seed, fast, jobs, faults, sup: REGISTRY[
             "multiprocess"](seed=seed, repetitions=3 if fast else 5),
     }
     return {name: adapters.get(name, plain(name)) for name in REGISTRY}
+
+
+def _supervision_kwargs(args) -> Dict[str, object]:
+    """The supervised-execution knobs shared by ``run`` and ``pipeline``."""
+    return {
+        "real_faults": args.real_faults,
+        "unit_timeout": args.unit_timeout,
+        "max_retries": args.max_retries,
+    }
+
+
+def _add_supervision_flags(parser) -> None:
+    from repro.core.supervisor import DEFAULT_MAX_RETRIES
+
+    parser.add_argument("--real-faults", type=int, default=None,
+                        metavar="SEED",
+                        help="inject a deterministic schedule of REAL "
+                        "process-level faults (worker os._exit, deadline "
+                        "hangs) seeded by SEED; the supervised engine "
+                        "recovers and results are unchanged")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-unit supervision deadline: a work unit "
+                        "still running after SECONDS is treated as hung, "
+                        "its pool is rebuilt and the unit re-issued "
+                        "(default: no deadline)")
+    parser.add_argument("--max-retries", type=int,
+                        default=DEFAULT_MAX_RETRIES, metavar="N",
+                        help="per-unit budget of attributed failures "
+                        "(crash/hang/poison) before the unit is "
+                        "quarantined as a typed UnitFailure "
+                        f"(default: {DEFAULT_MAX_RETRIES})")
 
 
 def _run_pipeline(args) -> int:
@@ -77,6 +119,7 @@ def _run_pipeline(args) -> int:
             faults=args.faults,
             resume_dir=args.resume,
             out_csv=args.out,
+            **_supervision_kwargs(args),
         )
     except CampaignInterrupted as exc:
         print(f"pipeline interrupted: {exc}", file=sys.stderr)
@@ -113,6 +156,7 @@ def main(argv=None) -> int:
                         help="inject a deterministic worker-failure "
                         "schedule seeded by SEED into the shardable "
                         "experiments (results are unchanged)")
+    _add_supervision_flags(runner)
     pipe = sub.add_parser(
         "pipeline", help="run the execution -> transport -> cloud result "
         "pipeline, optionally under injected faults and checkpoint/resume")
@@ -127,9 +171,11 @@ def main(argv=None) -> int:
                       help="inject a deterministic fault schedule (worker "
                       "kills, spurious escalations, transport bursts, "
                       "study interruption) seeded by SEED")
+    _add_supervision_flags(pipe)
     pipe.add_argument("--resume", default=None, metavar="DIR",
-                      help="checkpoint directory: completed campaign "
-                      "shards persist here and are not re-executed on rerun")
+                      help="checkpoint directory: completed and "
+                      "quarantined campaign shards persist here and are "
+                      "not re-executed on rerun")
     pipe.add_argument("--out", default=None, metavar="CSV",
                       help="write the cloud-side result rows to this CSV")
     reporter = sub.add_parser(
@@ -152,6 +198,12 @@ def main(argv=None) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.unit_timeout is not None and args.unit_timeout <= 0:
+        print("--unit-timeout must be positive", file=sys.stderr)
+        return 2
     if args.command == "pipeline":
         return _run_pipeline(args)
 
@@ -165,7 +217,7 @@ def main(argv=None) -> int:
     for name in targets:
         start = time.perf_counter()
         result = experiments[name](args.seed, args.fast, args.jobs,
-                                   args.faults)
+                                   args.faults, _supervision_kwargs(args))
         elapsed = time.perf_counter() - start
         print("=" * 72)
         print(result.format())

@@ -43,6 +43,14 @@ from repro.core.faults import (
     FaultInjector,
     FaultPlan,
     FaultStats,
+    PoisonError,
+)
+from repro.core.supervisor import (
+    MapOutcome,
+    SupervisedPool,
+    SupervisorStats,
+    UnitFailure,
+    supervised_map,
 )
 from repro.core.framework import CharacterizationFramework, ChipStudy
 from repro.core.governor import GovernorReport, VoltageGovernor
@@ -84,7 +92,12 @@ __all__ = [
     "FailureRegion",
     "GovernorReport",
     "GuardbandReport",
+    "MapOutcome",
     "NetworkLink",
+    "PoisonError",
+    "SupervisedPool",
+    "SupervisorStats",
+    "UnitFailure",
     "ResultUploader",
     "SerialLink",
     "OutcomeCounts",
@@ -109,4 +122,5 @@ __all__ = [
     "run_attribution",
     "select_safe_points",
     "summarize",
+    "supervised_map",
 ]

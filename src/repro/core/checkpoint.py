@@ -23,11 +23,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.campaign import Campaign
 from repro.core.results import ResultRow, ResultStore
+from repro.core.supervisor import UnitFailure
 from repro.errors import CampaignError
+
+#: Manifest ``status`` values. Manifests written before quarantine
+#: support carry no status field and count as completed.
+STATUS_COMPLETED = "completed"
+STATUS_QUARANTINED = "quarantined"
 
 
 def _fs_safe(name: str) -> str:
@@ -69,9 +75,24 @@ class CampaignCheckpoint:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
+    def _read_manifest(self, token: str) -> Optional[Dict]:
+        path = self._manifest_path(token)
+        if not os.path.exists(path):
+            return None
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
     def has(self, token: str) -> bool:
-        """Whether this shard completed (manifest is the commit point)."""
-        return os.path.exists(self._manifest_path(token))
+        """Whether this shard *completed* (manifest is the commit point).
+
+        A quarantined shard has a manifest too but no rows; it does not
+        count as completed -- resume surfaces its typed failure instead
+        of reloading rows.
+        """
+        manifest = self._read_manifest(token)
+        return (manifest is not None
+                and manifest.get("status", STATUS_COMPLETED)
+                == STATUS_COMPLETED)
 
     def save(self, token: str, chip_serial: str, campaign: Campaign,
              rows: List[ResultRow]) -> None:
@@ -88,13 +109,59 @@ class CampaignCheckpoint:
             "token": token,
             "chip": chip_serial,
             "campaign": campaign.name,
+            "status": STATUS_COMPLETED,
             "rows": len(rows),
             "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
         }
+        self._write_manifest(token, manifest)
+
+    def _write_manifest(self, token: str, manifest: Dict) -> None:
         tmp_manifest = self._manifest_path(token) + ".tmp"
         with open(tmp_manifest, "w", encoding="utf-8") as handle:
             json.dump(manifest, handle, indent=1)
         os.replace(tmp_manifest, self._manifest_path(token))
+
+    def mark_quarantined(self, token: str, chip_serial: str,
+                         campaign: Campaign, failure: UnitFailure) -> None:
+        """Record a shard the supervisor quarantined: manifest, no rows.
+
+        A later ``--resume`` run then knows the shard was *decided* (not
+        merely unfinished) and continues past it, surfacing the typed
+        failure instead of re-executing a known-poisonous shard. A
+        shard that already completed is never demoted.
+        """
+        existing = self._read_manifest(token)
+        if existing is not None and existing.get(
+                "status", STATUS_COMPLETED) == STATUS_COMPLETED:
+            return
+        self._write_manifest(token, {
+            "token": token,
+            "chip": chip_serial,
+            "campaign": campaign.name,
+            "status": STATUS_QUARANTINED,
+            "rows": 0,
+            "failure": {
+                "kind": failure.kind,
+                "attempts": failure.attempts,
+                "detail": failure.detail,
+                "label": failure.label or campaign.name,
+            },
+        })
+
+    def quarantined_failure(self, token: str) -> Optional[UnitFailure]:
+        """The typed failure of a quarantined shard, or ``None``."""
+        manifest = self._read_manifest(token)
+        if manifest is None or manifest.get(
+                "status", STATUS_COMPLETED) != STATUS_QUARANTINED:
+            return None
+        failure = manifest.get("failure", {})
+        return UnitFailure(
+            index=-1,
+            kind=failure.get("kind", "pool-broken"),
+            attempts=int(failure.get("attempts", 0)),
+            detail=failure.get("detail", ""),
+            label=failure.get("label", manifest.get("campaign", "")),
+        )
 
     def load_rows(self, token: str) -> List[ResultRow]:
         """Reload a completed shard's rows, verifying the manifest."""
@@ -118,8 +185,7 @@ class CampaignCheckpoint:
                 f"checkpoint shard {token!r} is corrupt: row count mismatch")
         return rows
 
-    def completed_shards(self) -> List[Dict]:
-        """Manifests of every completed shard, sorted by token."""
+    def _manifests(self) -> List[Dict]:
         manifests = []
         for name in sorted(os.listdir(self.directory)):
             if name.endswith(".json"):
@@ -127,3 +193,13 @@ class CampaignCheckpoint:
                           encoding="utf-8") as handle:
                     manifests.append(json.load(handle))
         return manifests
+
+    def completed_shards(self) -> List[Dict]:
+        """Manifests of every completed shard, sorted by token."""
+        return [m for m in self._manifests()
+                if m.get("status", STATUS_COMPLETED) == STATUS_COMPLETED]
+
+    def quarantined_shards(self) -> List[Dict]:
+        """Manifests of every quarantined shard, sorted by token."""
+        return [m for m in self._manifests()
+                if m.get("status", STATUS_COMPLETED) == STATUS_QUARANTINED]

@@ -14,26 +14,65 @@ faults and a :class:`FaultInjector` feeds it to the pipeline --
 - **transport corruption/loss bursts**: windows of uploaded rows whose
   first ``depth`` transmit attempts are forcibly corrupted
   (:class:`~repro.core.transport.SerialLink`) or dropped
-  (:class:`~repro.core.transport.NetworkLink`).
+  (:class:`~repro.core.transport.NetworkLink`);
+- **real process-level faults**: attempts that actually ``os._exit`` the
+  worker (breaking the whole pool), sleep past the supervision deadline,
+  or raise a poison exception -- exercising the *recovery machinery* of
+  :class:`repro.core.supervisor.SupervisedPool` for real instead of
+  simulating the loss.
 
 Every decision is a pure function of the plan plus ``(index, attempt)``,
 so the same plan injects the same faults at any worker count -- which is
 what lets the test suite assert the *fault-equivalence property*: a
 pipeline run under any seeded plan converges to a cloud store
-bit-identical to the clean serial run.
+bit-identical to the clean serial run, with any quarantined (poison)
+units enumerated deterministically.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import CampaignError
 from repro.rand import SeedLike, substream
 
-#: Fault kinds reported by :meth:`FaultInjector.shard_fault`.
+#: Fault kinds reported by :meth:`FaultInjector.shard_fault` and
+#: :meth:`FaultInjector.unit_fault`. The first two simulate a lost
+#: attempt inside a healthy worker; the ``UNIT_*`` kinds really happen
+#: in the worker process.
 WORKER_KILL = "worker-kill"
 SPURIOUS_ESCALATION = "spurious-escalation"
+UNIT_EXIT = "unit-exit"          #: worker calls ``os._exit`` mid-unit
+UNIT_HANG = "unit-hang"          #: worker sleeps past its deadline
+UNIT_POISON = "unit-poison"      #: worker raises :class:`PoisonError`
+
+
+class PoisonError(CampaignError):
+    """The injected exception a poison work unit raises in its worker."""
+
+
+def run_injected_real_fault(directive: str, hang_seconds: float) -> str:
+    """Actually perform an injected fault inside a worker process.
+
+    Legacy directives (:data:`WORKER_KILL`, :data:`SPURIOUS_ESCALATION`)
+    only *report* the loss -- the worker stays healthy and the caller
+    returns a tagged envelope. The real kinds act: :data:`UNIT_EXIT`
+    never returns (the process dies and the pool breaks),
+    :data:`UNIT_HANG` sleeps ``hang_seconds`` (tripping the supervisor's
+    deadline when one is armed, else returning a marker that is charged
+    as a hang), and :data:`UNIT_POISON` raises :class:`PoisonError`.
+    """
+    if directive == UNIT_EXIT:
+        os._exit(13)
+    if directive == UNIT_HANG:
+        time.sleep(hang_seconds)
+        return UNIT_HANG
+    if directive == UNIT_POISON:
+        raise PoisonError("injected poison work unit")
+    return directive
 
 
 @dataclass(frozen=True)
@@ -74,6 +113,21 @@ class FaultPlan:
     corruption_bursts / loss_bursts:
         Row windows whose early transmit attempts are corrupted on the
         serial link / dropped on the network link.
+    unit_exits / unit_hangs:
+        ``(unit_index, count)`` pairs of *real* process-level faults:
+        the unit's next ``count`` attempts (after any simulated losses)
+        really ``os._exit`` the worker / really sleep ``hang_seconds``.
+        Both charge the supervisor's retry budget, so keeping
+        ``exits + hangs <= max_retries`` per unit guarantees the plan
+        converges to clean results.
+    poison_units:
+        Unit indices whose every attempt raises
+        :class:`PoisonError` -- these units exhaust their budget and are
+        deterministically quarantined as typed failures.
+    hang_seconds:
+        How long an injected hang sleeps. Under a supervision deadline
+        shorter than this the worker is terminated; without one the
+        sleep returns a marker that is charged as a hang anyway.
     interrupt_after_shards:
         Abort the whole study (``CampaignInterrupted``) once this many
         shards completed in one engine call -- the hook the
@@ -84,15 +138,25 @@ class FaultPlan:
     shard_escalations: Tuple[Tuple[int, int], ...] = ()
     corruption_bursts: Tuple[FaultBurst, ...] = ()
     loss_bursts: Tuple[FaultBurst, ...] = ()
+    unit_exits: Tuple[Tuple[int, int], ...] = ()
+    unit_hangs: Tuple[Tuple[int, int], ...] = ()
+    poison_units: Tuple[int, ...] = ()
+    hang_seconds: float = 1.0
     interrupt_after_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name, pairs in (("shard_kills", self.shard_kills),
-                            ("shard_escalations", self.shard_escalations)):
+                            ("shard_escalations", self.shard_escalations),
+                            ("unit_exits", self.unit_exits),
+                            ("unit_hangs", self.unit_hangs)):
             for shard, count in pairs:
                 if shard < 0 or count < 1:
                     raise CampaignError(
                         f"{name} needs shard >= 0 and count >= 1")
+        if any(unit < 0 for unit in self.poison_units):
+            raise CampaignError("poison_units needs unit indices >= 0")
+        if self.hang_seconds <= 0:
+            raise CampaignError("hang_seconds must be positive")
         if self.interrupt_after_shards is not None \
                 and self.interrupt_after_shards < 1:
             raise CampaignError("interrupt_after_shards must be >= 1")
@@ -136,6 +200,32 @@ class FaultPlan:
                    loss_bursts=tuple(loss),
                    interrupt_after_shards=interrupt_after_shards)
 
+    @classmethod
+    def random_real(cls, seed: SeedLike, units: int,
+                    poison_rate: float = 0.0,
+                    hang_seconds: float = 0.25) -> "FaultPlan":
+        """A seeded plan of *real* process-level faults.
+
+        Exit and hang counts are capped at the default supervision
+        budget (at most one of each per unit), so the plan always
+        converges: a supervised run finishes with results bit-identical
+        to a clean run, except for the units ``poison_rate`` dooms --
+        those are quarantined, deterministically, at any worker count.
+        """
+        if units < 1:
+            raise CampaignError("a real-fault plan needs at least one unit")
+        if not 0.0 <= poison_rate <= 1.0:
+            raise CampaignError("poison_rate must be within [0, 1]")
+        rng = substream(seed, "real-fault-plan")
+        exits = tuple((unit, 1) for unit in range(units)
+                      if rng.random() < 0.35)
+        hangs = tuple((unit, 1) for unit in range(units)
+                      if rng.random() < 0.25)
+        poison = tuple(unit for unit in range(units)
+                       if rng.random() < poison_rate)
+        return cls(unit_exits=exits, unit_hangs=hangs, poison_units=poison,
+                   hang_seconds=hang_seconds)
+
 
 @dataclass
 class FaultStats:
@@ -145,11 +235,15 @@ class FaultStats:
     spurious_escalations: int = 0
     corrupted_frames: int = 0
     dropped_packets: int = 0
+    unit_exits: int = 0
+    unit_hangs: int = 0
+    poison_raises: int = 0
 
     @property
     def total(self) -> int:
         return (self.worker_kills + self.spurious_escalations
-                + self.corrupted_frames + self.dropped_packets)
+                + self.corrupted_frames + self.dropped_packets
+                + self.unit_exits + self.unit_hangs + self.poison_raises)
 
 
 class FaultInjector:
@@ -165,6 +259,10 @@ class FaultInjector:
         self.stats = FaultStats()
         self._kills: Dict[int, int] = dict(plan.shard_kills)
         self._escalations: Dict[int, int] = dict(plan.shard_escalations)
+        self._exits: Dict[int, int] = dict(plan.unit_exits)
+        self._hangs: Dict[int, int] = dict(plan.unit_hangs)
+        self._poisoned = set(plan.poison_units)
+        self._seen: Set[Tuple[int, int]] = set()
 
     def shard_fault(self, shard_index: int, attempt: int) -> Optional[str]:
         """Fate of one shard attempt: kill, escalation, or survival."""
@@ -175,6 +273,40 @@ class FaultInjector:
         if attempt < kills + self._escalations.get(shard_index, 0):
             self.stats.spurious_escalations += 1
             return SPURIOUS_ESCALATION
+        return None
+
+    def unit_fault(self, unit_index: int, attempt: int) -> Optional[str]:
+        """Fate of one *attributed* attempt of one supervised work unit.
+
+        Pure in ``(unit_index, attempt)``: simulated losses first (kills,
+        then escalations), then real worker exits, then real hangs, then
+        -- for poison units -- an unconditional poison raise. The
+        supervisor consults the same attempt number again when an
+        attempt is lost collaterally (another unit broke the shared
+        pool), so stats are deduplicated on ``(unit, attempt)`` and the
+        injected schedule replays identically at any worker count.
+        """
+        first = (unit_index, attempt) not in self._seen
+        self._seen.add((unit_index, attempt))
+        kills = self._kills.get(unit_index, 0)
+        escalations = kills + self._escalations.get(unit_index, 0)
+        exits = escalations + self._exits.get(unit_index, 0)
+        hangs = exits + self._hangs.get(unit_index, 0)
+        if attempt < kills:
+            self.stats.worker_kills += first
+            return WORKER_KILL
+        if attempt < escalations:
+            self.stats.spurious_escalations += first
+            return SPURIOUS_ESCALATION
+        if attempt < exits:
+            self.stats.unit_exits += first
+            return UNIT_EXIT
+        if attempt < hangs:
+            self.stats.unit_hangs += first
+            return UNIT_HANG
+        if unit_index in self._poisoned:
+            self.stats.poison_raises += first
+            return UNIT_POISON
         return None
 
     def corrupt_frame(self, row_index: int, attempt: int) -> bool:

@@ -39,6 +39,25 @@ class CampaignInterrupted(CampaignError):
     """
 
 
+class SupervisionError(CampaignError):
+    """Supervised execution quarantined one or more work units.
+
+    Raised by :func:`repro.core.parallel.parallel_map` when units
+    exhausted their retry budget; :attr:`failures` holds the typed
+    :class:`~repro.core.supervisor.UnitFailure` records (crash / hang /
+    poison / pool-broken) instead of a raw ``BrokenProcessPool`` or a
+    worker traceback.
+    """
+
+    def __init__(self, failures=()) -> None:
+        self.failures = tuple(failures)
+        described = "; ".join(
+            getattr(f, "describe", lambda: str(f))()
+            for f in self.failures) or "no failure detail"
+        super().__init__(
+            f"{len(self.failures)} work unit(s) quarantined: {described}")
+
+
 class SearchError(ReproError):
     """A parameter search (Vmin search, GA) could not produce a result."""
 

@@ -11,6 +11,7 @@ answer in any process, at any worker count, in any order.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import CampaignExecutor
@@ -25,20 +26,32 @@ from repro.workloads.base import Workload
 VminTask = Tuple[int, ProcessCorner, Workload, int]
 
 
-def fault_injector_for(faults: Optional[int],
-                       shards: int) -> Optional[FaultInjector]:
-    """The sharded drivers' ``--faults`` hook.
+def fault_injector_for(faults: Optional[int], shards: int,
+                       real_faults: Optional[int] = None
+                       ) -> Optional[FaultInjector]:
+    """The sharded drivers' ``--faults`` / ``--real-faults`` hook.
 
-    ``faults`` is a fault-plan seed (or ``None`` for a clean run): the
-    returned injector kills a seeded selection of work-unit attempts,
-    which :func:`repro.core.parallel.parallel_map` transparently
-    re-executes -- results stay identical to the clean run, which is the
-    point: the flag demonstrates (and tests) harness robustness, not a
-    different experiment.
+    ``faults`` is a fault-plan seed (or ``None``) for *simulated*
+    losses: a seeded selection of work-unit attempts is killed and
+    transparently re-executed by the supervised engine. ``real_faults``
+    seeds :meth:`FaultPlan.random_real`: worker processes really
+    ``os._exit``, really sleep past the deadline -- exercising pool
+    rebuild and hang recovery for real. Either way results stay
+    identical to the clean run, which is the point: the flags
+    demonstrate (and test) harness robustness, not a different
+    experiment.
     """
-    if faults is None:
+    if faults is None and real_faults is None:
         return None
-    return FaultInjector(FaultPlan.random(faults, shards=shards))
+    plan = (FaultPlan.random(faults, shards=shards)
+            if faults is not None else FaultPlan())
+    if real_faults is not None:
+        real = FaultPlan.random_real(real_faults, units=shards)
+        plan = replace(plan, unit_exits=real.unit_exits,
+                       unit_hangs=real.unit_hangs,
+                       poison_units=real.poison_units,
+                       hang_seconds=real.hang_seconds)
+    return FaultInjector(plan)
 
 
 def reference_executors(seed: SeedLike = None) -> Dict[ProcessCorner, CampaignExecutor]:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.margins import GuardbandReport, guardband_report
 from repro.core.parallel import parallel_map, resolve_seed
+from repro.core.supervisor import DEFAULT_MAX_RETRIES
 from repro.core.vmin import VminResult
 from repro.experiments.common import (
     VminTask,
@@ -89,23 +90,33 @@ class Figure4Result:
 
 
 def run_figure4(seed: SeedLike = None, repetitions: int = 10,
-                jobs: int = 1, faults: Optional[int] = None) -> Figure4Result:
+                jobs: int = 1, faults: Optional[int] = None,
+                real_faults: Optional[int] = None,
+                unit_timeout: Optional[float] = None,
+                max_retries: int = DEFAULT_MAX_RETRIES) -> Figure4Result:
     """Run the full Figure 4 campaign on the three reference parts.
 
     The 3 chips x 10 programs = 30 Vmin ladders are independent work
-    units; ``jobs > 1`` shards them across a process pool with results
-    identical to ``jobs=1`` at any worker count. ``faults`` seeds an
-    injected worker-kill schedule (killed units re-execute; results are
-    unchanged -- see :func:`repro.experiments.common.fault_injector_for`).
+    units; ``jobs > 1`` shards them across the supervised process pool
+    with results identical to ``jobs=1`` at any worker count. ``faults``
+    seeds an injected worker-kill schedule and ``real_faults`` a
+    schedule of real worker exits/hangs (lost units re-execute; results
+    are unchanged -- see
+    :func:`repro.experiments.common.fault_injector_for`);
+    ``unit_timeout`` / ``max_retries`` set the supervisor's per-unit
+    deadline and retry budget.
     """
-    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
+    injected = faults is not None or real_faults is not None
+    base = resolve_seed(seed) if jobs > 1 or injected else seed
     suite = spec_suite()
     tasks: List[VminTask] = [(base, corner, workload, repetitions)
                              for corner in ProcessCorner
                              for workload in suite]
     results: List[VminResult] = parallel_map(
         vmin_search_unit, tasks, jobs=jobs,
-        fault_injector=fault_injector_for(faults, len(tasks)))
+        fault_injector=fault_injector_for(faults, len(tasks),
+                                          real_faults=real_faults),
+        unit_timeout=unit_timeout, max_retries=max_retries)
     vmin_mv: Dict[str, Dict[str, float]] = {}
     reports: Dict[str, GuardbandReport] = {}
     for index, corner in enumerate(ProcessCorner):

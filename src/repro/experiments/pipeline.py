@@ -15,14 +15,19 @@ cycles, transport corruption/loss bursts and whole-study interruptions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
 
 from repro.core.campaign import Campaign, CampaignPlan
 from repro.core.checkpoint import CampaignCheckpoint
 from repro.core.faults import FaultInjector, FaultPlan, FaultStats
 from repro.core.parallel import ParallelCampaignExecutor, resolve_seed
 from repro.core.results import ResultStore
+from repro.core.supervisor import (
+    DEFAULT_MAX_RETRIES,
+    SupervisorStats,
+    UnitFailure,
+)
 from repro.core.transport import (
     CloudStore,
     NetworkLink,
@@ -53,6 +58,9 @@ class PipelineResult:
     upload_failed: int
     shards_executed: int
     shards_resumed: int
+    shards_quarantined: int
+    supervision: SupervisorStats
+    failures: Tuple[UnitFailure, ...]
     transport: str
     transport_stats: TransportStats
     fault_stats: Optional[FaultStats]
@@ -64,7 +72,9 @@ class PipelineResult:
             f"Result pipeline on {self.chip}: {self.campaigns} campaign "
             f"shard(s), {self.executed_rows} rows",
             f"shards: {self.shards_executed} executed, "
-            f"{self.shards_resumed} resumed from checkpoint",
+            f"{self.shards_resumed} resumed from checkpoint, "
+            f"{self.shards_quarantined} quarantined",
+            f"supervision: {self.supervision.describe()}",
             f"transport ({self.transport}): {self.transport_stats.attempts} "
             f"attempts, {self.transport_stats.delivered} rows delivered, "
             f"{self.transport_stats.corrupted} corrupted, "
@@ -74,12 +84,17 @@ class PipelineResult:
             f"cloud: {self.cloud_rows} rows, "
             f"{self.duplicates} duplicates absorbed",
         ]
+        for failure in self.failures:
+            lines.append(f"quarantined: {failure.describe()}")
         if self.fault_stats is not None:
             lines.append(
                 f"injected faults: {self.fault_stats.worker_kills} worker "
                 f"kills, {self.fault_stats.spurious_escalations} spurious "
                 f"escalations, {self.fault_stats.corrupted_frames} corrupted "
-                f"frames, {self.fault_stats.dropped_packets} dropped packets")
+                f"frames, {self.fault_stats.dropped_packets} dropped packets, "
+                f"{self.fault_stats.unit_exits} worker exits, "
+                f"{self.fault_stats.unit_hangs} hangs, "
+                f"{self.fault_stats.poison_raises} poison raises")
         lines.append("exactly-once contract: "
                      + ("OK (cloud rows == executed rows)"
                         if self.exactly_once else "VIOLATED"))
@@ -100,16 +115,25 @@ def run_pipeline(seed: SeedLike = None, benchmarks: int = 4,
                  start_mv: float = 980.0, stop_mv: float = 880.0,
                  step_mv: float = 20.0, transport: str = "network",
                  faults: Optional[int] = None,
+                 real_faults: Optional[int] = None,
+                 unit_timeout: Optional[float] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
                  resume_dir: Optional[str] = None,
                  out_csv: Optional[str] = None) -> PipelineResult:
     """Run the full execution -> transport -> cloud pipeline once.
 
     ``faults`` seeds a :meth:`FaultPlan.random` schedule injected into
-    both the engine and the transport; ``resume_dir`` checkpoints
-    completed campaign shards there and resumes any that already
-    finished. Raises :class:`~repro.errors.CampaignInterrupted` if the
-    fault plan injects a study-level interruption (rerun with the same
-    ``resume_dir`` to finish).
+    both the engine and the transport; ``real_faults`` seeds a
+    :meth:`FaultPlan.random_real` schedule of *real* process-level
+    faults (worker ``os._exit``, deadline hangs) the supervised engine
+    recovers from; ``unit_timeout`` / ``max_retries`` set the
+    supervisor's per-shard deadline and retry budget. ``resume_dir``
+    checkpoints completed campaign shards there and resumes any that
+    already finished (quarantined shards are skipped and their typed
+    failures resurfaced). Raises
+    :class:`~repro.errors.CampaignInterrupted` if the fault plan injects
+    a study-level interruption (rerun with the same ``resume_dir`` to
+    finish).
     """
     if transport not in TRANSPORTS:
         raise CampaignError(f"unknown transport {transport!r}; "
@@ -121,15 +145,24 @@ def run_pipeline(seed: SeedLike = None, benchmarks: int = 4,
     total_rows = sum(len(c.runs) for c in campaigns) * repetitions
 
     injector = None
-    if faults is not None:
-        plan = FaultPlan.random(faults, shards=len(campaigns),
-                                rows=total_rows, max_depth=3)
+    if faults is not None or real_faults is not None:
+        plan = (FaultPlan.random(faults, shards=len(campaigns),
+                                 rows=total_rows, max_depth=3)
+                if faults is not None else FaultPlan())
+        if real_faults is not None:
+            real = FaultPlan.random_real(real_faults, units=len(campaigns))
+            plan = replace(plan, unit_exits=real.unit_exits,
+                           unit_hangs=real.unit_hangs,
+                           poison_units=real.poison_units,
+                           hang_seconds=real.hang_seconds)
         injector = FaultInjector(plan)
     checkpoint = CampaignCheckpoint(resume_dir) if resume_dir else None
 
     engine = ParallelCampaignExecutor(chip, seed=base, jobs=jobs,
                                       fault_injector=injector,
-                                      checkpoint=checkpoint)
+                                      checkpoint=checkpoint,
+                                      unit_timeout=unit_timeout,
+                                      max_retries=max_retries)
     engine.execute_campaigns(campaigns)
 
     cloud = CloudStore()
@@ -155,6 +188,9 @@ def run_pipeline(seed: SeedLike = None, benchmarks: int = 4,
         upload_failed=failed,
         shards_executed=engine.shards_executed,
         shards_resumed=engine.shards_resumed,
+        shards_quarantined=engine.shards_quarantined,
+        supervision=engine.supervision,
+        failures=engine.failures,
         transport=transport,
         transport_stats=link.stats,
         fault_stats=injector.stats if injector is not None else None,

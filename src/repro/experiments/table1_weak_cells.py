@@ -28,6 +28,7 @@ from typing import Dict, List, Tuple
 from typing import Optional
 
 from repro.core.parallel import parallel_map, resolve_seed
+from repro.core.supervisor import DEFAULT_MAX_RETRIES
 from repro.dram.cells import DramDevicePopulation
 from repro.dram.controller import MemoryControlUnit, ScrubResult
 from repro.dram.geometry import DEFAULT_GEOMETRY
@@ -166,7 +167,10 @@ def run_table1(seed: SeedLike = None,
                temps_c: Tuple[float, float] = (50.0, 60.0),
                sample_devices: int = 72,
                regulate: bool = True,
-               jobs: int = 1, faults: Optional[int] = None) -> Table1Result:
+               jobs: int = 1, faults: Optional[int] = None,
+               real_faults: Optional[int] = None,
+               unit_timeout: Optional[float] = None,
+               max_retries: int = DEFAULT_MAX_RETRIES) -> Table1Result:
     """Profile the population at both setpoints.
 
     ``regulate=True`` actually runs the PID testbed to each setpoint
@@ -178,6 +182,10 @@ def run_table1(seed: SeedLike = None,
     contiguous device chunks; per-bank sampling is substream-seeded per
     (device, bank), so the merged totals are identical to the serial
     pass at any worker count. Thermal regulation stays in the parent.
+    Execution is supervised: ``faults`` / ``real_faults`` seed injected
+    simulated / real fault schedules the engine recovers from, and
+    ``unit_timeout`` / ``max_retries`` set its deadline and retry
+    budget.
     """
     geometry = DEFAULT_GEOMETRY
     sample_devices = min(sample_devices, geometry.num_devices)
@@ -189,11 +197,15 @@ def run_table1(seed: SeedLike = None,
             reports = testbed.run(900.0)
             regulation_ok = regulation_ok and reports[0].within_one_degree
 
-    base = resolve_seed(seed) if jobs > 1 or faults is not None else seed
+    injected = faults is not None or real_faults is not None
+    base = resolve_seed(seed) if jobs > 1 or injected else seed
     tasks = [(base, chunk, tuple(temps_c))
              for chunk in _device_chunks(sample_devices, jobs)]
-    shards = parallel_map(_profile_device_chunk, tasks, jobs=jobs,
-                          fault_injector=fault_injector_for(faults, len(tasks)))
+    shards = parallel_map(
+        _profile_device_chunk, tasks, jobs=jobs,
+        fault_injector=fault_injector_for(faults, len(tasks),
+                                          real_faults=real_faults),
+        unit_timeout=unit_timeout, max_retries=max_retries)
 
     counts: Dict[float, Tuple[int, ...]] = {}
     per_chip: Dict[float, Tuple[int, ...]] = {}

@@ -266,6 +266,13 @@ def didt_search_unit(task: GaSearchTask) -> Tuple[DidtVirus, GaResult]:
     Rebuilds the search from the integer seed, so the arm computes the
     same virus in any process, at any worker count, in any order --
     the guarantee :func:`repro.core.parallel.parallel_map` relies on.
+    Because the unit is a pure function of its task tuple, the
+    supervised engine (:mod:`repro.core.supervisor`) can also re-issue
+    it after a real worker crash, a deadline hang, or a collateral pool
+    break and still converge on a bit-identical virus; a GA arm that
+    keeps failing is quarantined as a typed
+    :class:`~repro.core.supervisor.UnitFailure` instead of wedging the
+    whole search.
     """
     seed, generations, population, em_repeats = task
     config = GaConfig(population_size=population, generations=generations)

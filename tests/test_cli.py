@@ -22,6 +22,23 @@ def test_run_unknown_experiment(capsys):
     assert "unknown" in err
 
 
+def test_run_rejects_bad_supervision_flags(capsys):
+    assert main(["run", "fig4", "--max-retries", "-1"]) == 2
+    assert "--max-retries" in capsys.readouterr().err
+    assert main(["run", "fig4", "--unit-timeout", "0"]) == 2
+    assert "--unit-timeout" in capsys.readouterr().err
+
+
+def test_run_fast_fig4_real_faults(capsys):
+    """A seeded real-fault schedule must not change the printed figure."""
+    assert main(["run", "fig4", "--seed", "1", "--fast"]) == 0
+    clean = capsys.readouterr().out.rsplit("[fig4:", 1)[0]
+    assert main(["run", "fig4", "--seed", "1", "--fast", "--jobs", "2",
+                 "--real-faults", "7", "--unit-timeout", "60"]) == 0
+    faulted = capsys.readouterr().out.rsplit("[fig4:", 1)[0]
+    assert faulted == clean
+
+
 def test_run_fast_fig8a(capsys):
     assert main(["run", "fig8a", "--seed", "1"]) == 0
     out = capsys.readouterr().out
