@@ -7,6 +7,7 @@ Usage::
                              [--real-faults N] [--unit-timeout S]
                              [--max-retries N]
     python -m repro run all  [--seed N] [--fast] [--jobs N]
+    python -m repro run table1 [--thermal-faults N]
     python -m repro pipeline [--jobs N] [--faults N] [--real-faults N]
                              [--resume DIR]
 
@@ -19,8 +20,13 @@ worker-failure schedule into the shardable experiments and
 (worker ``os._exit``, deadline hangs) the supervised engine recovers
 from -- either way, results are unchanged. ``--unit-timeout`` and
 ``--max-retries`` tune the supervisor's per-unit deadline and retry
-budget (see :mod:`repro.core.supervisor`). The default settings match
-the benches.
+budget (see :mod:`repro.core.supervisor`). ``--thermal-faults SEED``
+injects a deterministic *thermal rig* fault schedule (stuck/drifting
+thermocouples, SPD timeouts, relay/heater failures, ambient steps) into
+the DRAM experiments' regulated measurement chain: recoverable faults
+are detected, re-regulated and leave the rows bit-identical to the
+clean run; unrecoverable ones surface as typed zone quarantines. The
+default settings match the benches.
 
 ``pipeline`` exercises the full execution -> transport -> cloud result
 pipeline under injected faults and checkpoint/resume; an interrupted
@@ -45,30 +51,40 @@ def _experiments() -> Dict[str, Callable]:
     from repro.experiments import REGISTRY
 
     def plain(name):
-        return lambda seed, fast, jobs, faults, sup: REGISTRY[name](seed=seed)
+        return lambda seed, fast, jobs, faults, sup, thermal: \
+            REGISTRY[name](seed=seed)
 
     adapters = {
-        "fig4": lambda seed, fast, jobs, faults, sup: REGISTRY["fig4"](
-            seed=seed, repetitions=3 if fast else 10, jobs=jobs,
-            faults=faults, **sup),
-        "fig5": lambda seed, fast, jobs, faults, sup: REGISTRY["fig5"](
-            seed=seed, repetitions=3 if fast else 10),
-        "fig6": lambda seed, fast, jobs, faults, sup: REGISTRY["fig6"](
-            seed=seed, repetitions=3 if fast else 10,
-            generations=8 if fast else 25, population=16 if fast else 32,
-            jobs=jobs, faults=faults, **sup),
-        "fig7": lambda seed, fast, jobs, faults, sup: REGISTRY["fig7"](
-            seed=seed, repetitions=3 if fast else 10,
-            generations=8 if fast else 25, population=16 if fast else 32,
-            jobs=jobs, faults=faults, **sup),
-        "table1": lambda seed, fast, jobs, faults, sup: REGISTRY["table1"](
-            seed=seed, regulate=not fast,
-            sample_devices=24 if fast else 72, jobs=jobs, faults=faults,
-            **sup),
-        "fig9": lambda seed, fast, jobs, faults, sup: REGISTRY["fig9"](
-            seed=seed, repetitions=3 if fast else 10),
-        "multiprocess": lambda seed, fast, jobs, faults, sup: REGISTRY[
-            "multiprocess"](seed=seed, repetitions=3 if fast else 5),
+        "fig4": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["fig4"](
+                seed=seed, repetitions=3 if fast else 10, jobs=jobs,
+                faults=faults, **sup),
+        "fig5": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["fig5"](seed=seed, repetitions=3 if fast else 10),
+        "fig6": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["fig6"](
+                seed=seed, repetitions=3 if fast else 10,
+                generations=8 if fast else 25,
+                population=16 if fast else 32,
+                jobs=jobs, faults=faults, **sup),
+        "fig7": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["fig7"](
+                seed=seed, repetitions=3 if fast else 10,
+                generations=8 if fast else 25,
+                population=16 if fast else 32,
+                jobs=jobs, faults=faults, **sup),
+        "table1": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["table1"](
+                seed=seed, regulate=not fast,
+                sample_devices=24 if fast else 72, jobs=jobs,
+                faults=faults, thermal_faults=thermal, **sup),
+        "fig8a": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["fig8a"](seed=seed, thermal_faults=thermal),
+        "fig9": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["fig9"](seed=seed, repetitions=3 if fast else 10),
+        "multiprocess": lambda seed, fast, jobs, faults, sup, thermal:
+            REGISTRY["multiprocess"](seed=seed,
+                                     repetitions=3 if fast else 5),
     }
     return {name: adapters.get(name, plain(name)) for name in REGISTRY}
 
@@ -156,6 +172,14 @@ def main(argv=None) -> int:
                         help="inject a deterministic worker-failure "
                         "schedule seeded by SEED into the shardable "
                         "experiments (results are unchanged)")
+    runner.add_argument("--thermal-faults", type=int, default=None,
+                        metavar="SEED",
+                        help="inject a deterministic thermal rig fault "
+                        "schedule seeded by SEED into the regulated DRAM "
+                        "experiments (table1, fig8a): recoverable faults "
+                        "are re-regulated and results stay unchanged; "
+                        "unrecoverable ones quarantine the affected "
+                        "zones as typed records")
     _add_supervision_flags(runner)
     pipe = sub.add_parser(
         "pipeline", help="run the execution -> transport -> cloud result "
@@ -217,7 +241,8 @@ def main(argv=None) -> int:
     for name in targets:
         start = time.perf_counter()
         result = experiments[name](args.seed, args.fast, args.jobs,
-                                   args.faults, _supervision_kwargs(args))
+                                   args.faults, _supervision_kwargs(args),
+                                   getattr(args, "thermal_faults", None))
         elapsed = time.perf_counter() - start
         print("=" * 72)
         print(result.format())

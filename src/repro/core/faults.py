@@ -19,14 +19,21 @@ faults and a :class:`FaultInjector` feeds it to the pipeline --
   worker (breaking the whole pool), sleep past the supervision deadline,
   or raise a poison exception -- exercising the *recovery machinery* of
   :class:`repro.core.supervisor.SupervisedPool` for real instead of
-  simulating the loss.
+  simulating the loss;
+- **thermal rig faults**: time-scheduled sensor and actuator failures of
+  the DRAM thermal testbed (stuck/drifting/dropped-out thermocouples,
+  SPD read timeouts, welded-on and stuck-open relays, dead heater
+  elements, ambient disturbance steps), declared here as typed
+  :class:`ThermalFault` records and *applied* by
+  :class:`repro.thermal.faults.ThermalFaultInjector`.
 
-Every decision is a pure function of the plan plus ``(index, attempt)``,
-so the same plan injects the same faults at any worker count -- which is
-what lets the test suite assert the *fault-equivalence property*: a
-pipeline run under any seeded plan converges to a cloud store
-bit-identical to the clean serial run, with any quarantined (poison)
-units enumerated deterministically.
+Every decision is a pure function of the plan plus ``(index, attempt)``
+(or, for thermal faults, of the plan plus virtual time), so the same
+plan injects the same faults at any worker count -- which is what lets
+the test suite assert the *fault-equivalence property*: a pipeline run
+under any seeded plan converges to a cloud store bit-identical to the
+clean serial run, with any quarantined (poison) units enumerated
+deterministically.
 """
 
 from __future__ import annotations
@@ -48,6 +55,30 @@ SPURIOUS_ESCALATION = "spurious-escalation"
 UNIT_EXIT = "unit-exit"          #: worker calls ``os._exit`` mid-unit
 UNIT_HANG = "unit-hang"          #: worker sleeps past its deadline
 UNIT_POISON = "unit-poison"      #: worker raises :class:`PoisonError`
+
+#: Thermal-rig fault kinds consumed by :mod:`repro.thermal.faults`.
+TC_STUCK = "tc-stuck"            #: thermocouple freezes at its last reading
+TC_DRIFT = "tc-drift"            #: thermocouple drifts ``magnitude`` degC/s
+TC_DROPOUT = "tc-dropout"        #: thermocouple channel reads nothing
+SPD_TIMEOUT = "spd-timeout"      #: SPD/TSOD SMBus reads time out
+RELAY_WELDED_ON = "relay-welded-on"    #: SSR conducts regardless of command
+RELAY_STUCK_OPEN = "relay-stuck-open"  #: SSR never conducts
+HEATER_FAILED = "heater-failed"  #: resistive element goes open-circuit
+AMBIENT_STEP = "ambient-step"    #: lab ambient steps by ``magnitude`` degC
+
+#: Thermal fault taxonomy, grouped by what the fault breaks.
+THERMAL_SENSOR_KINDS = frozenset(
+    {TC_STUCK, TC_DRIFT, TC_DROPOUT, SPD_TIMEOUT})
+THERMAL_ACTUATOR_KINDS = frozenset(
+    {RELAY_WELDED_ON, RELAY_STUCK_OPEN, HEATER_FAILED})
+THERMAL_FAULT_KINDS = (THERMAL_SENSOR_KINDS | THERMAL_ACTUATOR_KINDS
+                       | {AMBIENT_STEP})
+
+#: Kinds a monitored testbed recovers from without losing the zone: a
+#: single faulted sensor degrades to the surviving one and an ambient
+#: step is regulated out. Actuator faults leave the zone unable to hold
+#: its setpoint and always end in quarantine.
+RECOVERABLE_THERMAL_KINDS = THERMAL_SENSOR_KINDS | {AMBIENT_STEP}
 
 
 class PoisonError(CampaignError):
@@ -73,6 +104,91 @@ def run_injected_real_fault(directive: str, hang_seconds: float) -> str:
     if directive == UNIT_POISON:
         raise PoisonError("injected poison work unit")
     return directive
+
+
+@dataclass(frozen=True)
+class ThermalFault:
+    """One scheduled fault of the thermal rig, in virtual time.
+
+    Parameters
+    ----------
+    zone:
+        Testbed zone (DIMM rank) the fault strikes.
+    kind:
+        One of :data:`THERMAL_FAULT_KINDS`.
+    start_s:
+        Virtual time the fault becomes active.
+    duration_s:
+        Fault window length; ``None`` means permanent (the default for
+        actuator faults -- a welded relay does not un-weld).
+    magnitude:
+        Kind-specific intensity: drift rate in degC/s for
+        :data:`TC_DRIFT`, ambient offset in degC for
+        :data:`AMBIENT_STEP`; unused otherwise.
+    """
+
+    zone: int
+    kind: str
+    start_s: float
+    duration_s: Optional[float] = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.zone < 0:
+            raise CampaignError("thermal fault zone must be >= 0")
+        if self.kind not in THERMAL_FAULT_KINDS:
+            raise CampaignError(f"unknown thermal fault kind {self.kind!r}")
+        if self.start_s < 0:
+            raise CampaignError("thermal fault start_s must be >= 0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise CampaignError("thermal fault duration_s must be positive "
+                                "(None for permanent)")
+        if self.kind == TC_DRIFT and self.magnitude <= 0:
+            raise CampaignError("tc-drift needs a positive degC/s magnitude")
+        if self.kind == AMBIENT_STEP and self.magnitude == 0:
+            raise CampaignError("ambient-step needs a non-zero magnitude")
+
+    @property
+    def end_s(self) -> float:
+        """Fault window end (``inf`` for permanent faults)."""
+        if self.duration_s is None:
+            return float("inf")
+        return self.start_s + self.duration_s
+
+    def active(self, now_s: float) -> bool:
+        """Whether the fault is in effect at virtual time ``now_s``."""
+        return self.start_s <= now_s < self.end_s
+
+    def overlaps(self, other: "ThermalFault") -> bool:
+        """Whether two fault windows intersect in time."""
+        return self.start_s < other.end_s and other.start_s < self.end_s
+
+    @property
+    def recoverable(self) -> bool:
+        """Whether a monitored zone survives this fault alone."""
+        return self.kind in RECOVERABLE_THERMAL_KINDS
+
+
+def thermal_faults_recoverable(faults) -> bool:
+    """Whether a set of :class:`ThermalFault` leaves every zone viable.
+
+    A plan is recoverable when every fault kind is individually
+    recoverable *and* no zone loses both of its temperature sensors at
+    once: a thermocouple fault overlapping an SPD timeout in the same
+    zone blinds the monitor, which must then quarantine the zone.
+    """
+    faults = tuple(faults)
+    if any(f.kind not in RECOVERABLE_THERMAL_KINDS for f in faults):
+        return False
+    tc_kinds = {TC_STUCK, TC_DRIFT, TC_DROPOUT}
+    for fault in faults:
+        if fault.kind not in tc_kinds:
+            continue
+        for other in faults:
+            if (other.zone == fault.zone and other.kind == SPD_TIMEOUT
+                    and other.overlaps(fault)):
+                return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -132,6 +248,10 @@ class FaultPlan:
         Abort the whole study (``CampaignInterrupted``) once this many
         shards completed in one engine call -- the hook the
         checkpoint/resume tests and the ``--resume`` CLI flow use.
+    thermal_faults:
+        Time-scheduled :class:`ThermalFault` records applied to the
+        thermal testbed by
+        :class:`repro.thermal.faults.ThermalFaultInjector`.
     """
 
     shard_kills: Tuple[Tuple[int, int], ...] = ()
@@ -143,6 +263,7 @@ class FaultPlan:
     poison_units: Tuple[int, ...] = ()
     hang_seconds: float = 1.0
     interrupt_after_shards: Optional[int] = None
+    thermal_faults: Tuple[ThermalFault, ...] = ()
 
     def __post_init__(self) -> None:
         for name, pairs in (("shard_kills", self.shard_kills),
@@ -160,12 +281,21 @@ class FaultPlan:
         if self.interrupt_after_shards is not None \
                 and self.interrupt_after_shards < 1:
             raise CampaignError("interrupt_after_shards must be >= 1")
+        for fault in self.thermal_faults:
+            if not isinstance(fault, ThermalFault):
+                raise CampaignError(
+                    "thermal_faults entries must be ThermalFault records")
 
     @property
     def max_transport_depth(self) -> int:
         """Deepest burst; links need ``max_retries >= this`` to converge."""
         bursts = self.corruption_bursts + self.loss_bursts
         return max((b.depth for b in bursts), default=0)
+
+    @property
+    def thermal_recoverable(self) -> bool:
+        """Whether the plan's thermal faults leave every zone viable."""
+        return thermal_faults_recoverable(self.thermal_faults)
 
     @classmethod
     def random(cls, seed: SeedLike, shards: int, rows: int = 0,
@@ -203,7 +333,9 @@ class FaultPlan:
     @classmethod
     def random_real(cls, seed: SeedLike, units: int,
                     poison_rate: float = 0.0,
-                    hang_seconds: float = 0.25) -> "FaultPlan":
+                    hang_seconds: float = 0.25,
+                    thermal_zones: int = 0,
+                    thermal_unrecoverable_rate: float = 0.0) -> "FaultPlan":
         """A seeded plan of *real* process-level faults.
 
         Exit and hang counts are capped at the default supervision
@@ -211,6 +343,12 @@ class FaultPlan:
         converges: a supervised run finishes with results bit-identical
         to a clean run, except for the units ``poison_rate`` dooms --
         those are quarantined, deterministically, at any worker count.
+
+        ``thermal_zones > 0`` additionally folds a
+        :meth:`random_thermal` schedule over that many testbed zones
+        into the plan (unrecoverable actuator faults at
+        ``thermal_unrecoverable_rate``), so one seed can exercise the
+        supervision *and* the thermal fault-tolerance layers together.
         """
         if units < 1:
             raise CampaignError("a real-fault plan needs at least one unit")
@@ -223,8 +361,62 @@ class FaultPlan:
                       if rng.random() < 0.25)
         poison = tuple(unit for unit in range(units)
                        if rng.random() < poison_rate)
+        thermal: Tuple[ThermalFault, ...] = ()
+        if thermal_zones > 0:
+            thermal = cls.random_thermal(
+                seed, zones=thermal_zones,
+                unrecoverable_rate=thermal_unrecoverable_rate).thermal_faults
         return cls(unit_exits=exits, unit_hangs=hangs, poison_units=poison,
-                   hang_seconds=hang_seconds)
+                   hang_seconds=hang_seconds, thermal_faults=thermal)
+
+    @classmethod
+    def random_thermal(cls, seed: SeedLike, zones: int = 8,
+                       horizon_s: float = 900.0, fault_rate: float = 0.6,
+                       unrecoverable_rate: float = 0.0) -> "FaultPlan":
+        """A seeded schedule of thermal rig faults over ``zones`` zones.
+
+        At most one fault per zone, placed inside the first regulation
+        window of ``horizon_s`` virtual seconds, so a faulted zone never
+        loses both sensors at once. With ``unrecoverable_rate == 0``
+        every generated fault is recoverable
+        (:attr:`thermal_recoverable` is ``True``) and a gated run
+        converges bit-identical to the clean run; a non-zero rate mixes
+        in permanent actuator faults that deterministically end in zone
+        quarantine. The same seed always produces the same schedule.
+        """
+        if zones < 1:
+            raise CampaignError("a thermal fault plan needs >= 1 zone")
+        if horizon_s <= 0:
+            raise CampaignError("horizon_s must be positive")
+        if not 0.0 <= fault_rate <= 1.0:
+            raise CampaignError("fault_rate must be within [0, 1]")
+        if not 0.0 <= unrecoverable_rate <= 1.0:
+            raise CampaignError("unrecoverable_rate must be within [0, 1]")
+        rng = substream(seed, "thermal-fault-plan")
+        recoverable = (TC_STUCK, TC_DRIFT, TC_DROPOUT, SPD_TIMEOUT,
+                       AMBIENT_STEP)
+        unrecoverable = (RELAY_WELDED_ON, RELAY_STUCK_OPEN, HEATER_FAILED)
+        faults = []
+        for zone in range(zones):
+            if rng.random() >= fault_rate:
+                continue
+            start_s = float(rng.uniform(0.1, 0.5)) * horizon_s
+            if rng.random() < unrecoverable_rate:
+                kind = unrecoverable[int(rng.integers(0, len(unrecoverable)))]
+                faults.append(ThermalFault(zone=zone, kind=kind,
+                                           start_s=start_s))
+                continue
+            kind = recoverable[int(rng.integers(0, len(recoverable)))]
+            duration_s = float(rng.uniform(0.05, 0.25)) * horizon_s
+            magnitude = 0.0
+            if kind == TC_DRIFT:
+                magnitude = float(rng.uniform(0.02, 0.06))
+            elif kind == AMBIENT_STEP:
+                magnitude = float(rng.uniform(3.0, 8.0))
+            faults.append(ThermalFault(zone=zone, kind=kind, start_s=start_s,
+                                       duration_s=duration_s,
+                                       magnitude=magnitude))
+        return cls(thermal_faults=tuple(faults))
 
 
 @dataclass
@@ -238,12 +430,26 @@ class FaultStats:
     unit_exits: int = 0
     unit_hangs: int = 0
     poison_raises: int = 0
+    thermal_sensor_faults: int = 0
+    thermal_actuator_faults: int = 0
+    thermal_disturbances: int = 0
 
     @property
     def total(self) -> int:
         return (self.worker_kills + self.spurious_escalations
                 + self.corrupted_frames + self.dropped_packets
-                + self.unit_exits + self.unit_hangs + self.poison_raises)
+                + self.unit_exits + self.unit_hangs + self.poison_raises
+                + self.thermal_sensor_faults + self.thermal_actuator_faults
+                + self.thermal_disturbances)
+
+    def note_thermal(self, kind: str) -> None:
+        """Count one fired thermal fault under its taxonomy bucket."""
+        if kind in THERMAL_SENSOR_KINDS:
+            self.thermal_sensor_faults += 1
+        elif kind in THERMAL_ACTUATOR_KINDS:
+            self.thermal_actuator_faults += 1
+        else:
+            self.thermal_disturbances += 1
 
 
 class FaultInjector:

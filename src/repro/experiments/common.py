@@ -54,6 +54,69 @@ def fault_injector_for(faults: Optional[int], shards: int,
     return FaultInjector(plan)
 
 
+def thermal_plan_for(thermal_faults: Optional[int],
+                     plan: Optional[FaultPlan] = None,
+                     zones: int = 8,
+                     horizon_s: float = 900.0) -> Optional[FaultPlan]:
+    """The DRAM drivers' ``--thermal-faults`` hook.
+
+    An explicit ``plan`` wins; otherwise ``thermal_faults`` (a seed, or
+    ``None``) draws a deterministic rig-fault schedule via
+    :meth:`FaultPlan.random_thermal`. The returned plan feeds a
+    :class:`~repro.thermal.testbed.ThermalTestbed`; recoverable
+    schedules leave the campaign's rows bit-identical to the clean run,
+    which is the point of the flag.
+    """
+    if plan is not None:
+        return plan
+    if thermal_faults is None:
+        return None
+    return FaultPlan.random_thermal(thermal_faults, zones=zones,
+                                    horizon_s=horizon_s)
+
+
+def regulate_to_setpoint(testbed, setpoint_c: float, rounds: int = 3,
+                         regulation_s: float = 900.0) -> int:
+    """Drive every testbed zone to ``setpoint_c`` until trustworthy.
+
+    Runs up to ``rounds`` regulation windows of ``regulation_s`` virtual
+    seconds; a round whose belief was not steady-in-band (an out-of-band
+    window from a recoverable rig fault) is deterministically followed
+    by another -- re-regulation, the measurement-validity gate's
+    recovery path. A zone still untrustworthy when the budget runs out
+    is force-quarantined as ``regulation-timeout`` (its heater is cut);
+    zones the monitor already quarantined stay quarantined. Returns the
+    number of rounds used.
+    """
+    from repro.thermal.monitor import REGULATION_TIMEOUT
+
+    zones = range(len(testbed.configs))
+    for zone in zones:
+        testbed.set_setpoint(zone, setpoint_c)
+    used = 0
+    while used < rounds:
+        testbed.run(regulation_s)
+        used += 1
+        pending = [zone for zone in zones
+                   if testbed.monitors[zone].quarantine is None
+                   and not testbed.zone_measurement_valid(zone)]
+        if not pending:
+            break
+    for zone in zones:
+        if testbed.monitors[zone].quarantine is None \
+                and not testbed.zone_measurement_valid(zone):
+            testbed.quarantine_zone(
+                zone, REGULATION_TIMEOUT,
+                f"not steady in band after {used} x {regulation_s:.0f}s "
+                f"rounds at {setpoint_c:.0f} degC")
+    return used
+
+
+def format_quarantine_lines(failures) -> List[str]:
+    """Render typed quarantine records (unit or zone) for summaries."""
+    return [f"quarantined: {failure.describe()}" for failure in failures]
+
+
 def reference_executors(seed: SeedLike = None) -> Dict[ProcessCorner, CampaignExecutor]:
     """Campaign executors over the three reference sigma parts."""
     chips = build_reference_chips(seed=seed)

@@ -36,6 +36,7 @@ from repro.core.transport import (
     TransportStats,
 )
 from repro.errors import CampaignError
+from repro.experiments.common import format_quarantine_lines
 from repro.rand import SeedLike
 from repro.soc.corners import ProcessCorner
 from repro.soc.xgene2 import build_reference_chips
@@ -84,8 +85,7 @@ class PipelineResult:
             f"cloud: {self.cloud_rows} rows, "
             f"{self.duplicates} duplicates absorbed",
         ]
-        for failure in self.failures:
-            lines.append(f"quarantined: {failure.describe()}")
+        lines.extend(format_quarantine_lines(self.failures))
         if self.fault_stats is not None:
             lines.append(
                 f"injected faults: {self.fault_stats.worker_kills} worker "

@@ -17,25 +17,39 @@ SECDED, exactly as observed (see repro.dram.retention).
 Our driver profiles the simulated 72-device population on the thermal
 testbed (regulated to each setpoint), reports the per-bank-index totals,
 the spread statistics, and the ECC scrub verdict over every device's
-banks.
+banks. Regulation is fault-tolerant and measurement-gated: a
+``thermal_faults`` seed injects a deterministic rig-fault schedule, a
+round whose zones were not steady-in-band is re-regulated, and devices
+on zones the safe-state quarantined are excluded and surfaced as typed
+:class:`~repro.thermal.monitor.ZoneQuarantine` records -- never profiled
+at a silently wrong temperature.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
 
 from typing import Optional
 
+from repro.core.faults import FaultPlan
 from repro.core.parallel import parallel_map, resolve_seed
 from repro.core.supervisor import DEFAULT_MAX_RETRIES
 from repro.dram.cells import DramDevicePopulation
 from repro.dram.controller import MemoryControlUnit, ScrubResult
 from repro.dram.geometry import DEFAULT_GEOMETRY
 from repro.errors import ConfigurationError
-from repro.experiments.common import fault_injector_for, format_table
+from repro.experiments.common import (
+    fault_injector_for,
+    format_quarantine_lines,
+    format_table,
+    regulate_to_setpoint,
+    thermal_plan_for,
+)
 from repro.rand import SeedLike
-from repro.thermal.testbed import ThermalTestbed, ZoneConfig
+from repro.thermal.binding import ZoneBinding
+from repro.thermal.monitor import ZoneQuarantine
+from repro.thermal.testbed import NUM_ZONES, ThermalTestbed, ZoneConfig
 from repro.units import RELAXED_REFRESH_S
 
 #: Paper-reported per-bank counts for the representative device.
@@ -56,12 +70,21 @@ def spread_pct(counts: List[int]) -> float:
 
 @dataclass(frozen=True)
 class Table1Result:
-    """Per-bank-index totals at both temperatures plus ECC verdict."""
+    """Per-bank-index totals at both temperatures plus ECC verdict.
+
+    ``thermal_quarantine`` lists zones the testbed's safe-state tripped
+    (typed records, mirroring the supervisor's ``UnitFailure`` contract)
+    and ``excluded_devices`` the devices those zones carry -- excluded
+    from every count rather than measured at an untrusted temperature.
+    """
 
     counts: Dict[float, Tuple[int, ...]]        # temp -> 8 bank totals
     per_chip_totals: Dict[float, Tuple[int, ...]]  # temp -> totals per device
     scrubs: Dict[float, ScrubResult]            # aggregated over all devices
     regulation_ok: bool
+    thermal_quarantine: Tuple[ZoneQuarantine, ...] = ()
+    excluded_devices: Tuple[int, ...] = ()
+    regulation_rounds: Dict[float, int] = field(default_factory=dict)
 
     def rows(self) -> List[Tuple[str, ...]]:
         rows = []
@@ -94,16 +117,29 @@ class Table1Result:
         header = ("temp",) + tuple(f"bank{i}" for i in range(8))
         lines.append(format_table(header, self.rows()))
         for temp in sorted(self.counts):
+            if min(self.counts[temp], default=0) > 0:
+                spread = f"spread {self.measured_spread_pct(temp):.0f}% " \
+                    f"(paper {PAPER_SPREAD_PCT[temp]:.0f}%)"
+            else:
+                spread = "spread n/a (no measurable devices)"
             lines.append(
-                f"{temp:.0f} degC: spread {self.measured_spread_pct(temp):.0f}% "
-                f"(paper {PAPER_SPREAD_PCT[temp]:.0f}%), ECC scrub: "
+                f"{temp:.0f} degC: {spread}, ECC scrub: "
                 f"{'all corrected' if self.scrubs[temp].all_corrected else 'RESIDUAL ERRORS'}"
             )
-        lines.append(f"60/50 degC amplification: {self.temperature_amplification():.1f}x")
-        lines.append(
-            f"chip-to-chip variation (max/min totals): "
-            f"{self.chip_to_chip_variation(60.0):.1f}x at 60 degC"
-        )
+        if all(sum(self.counts.get(t, ())) > 0 for t in (50.0, 60.0)):
+            lines.append(
+                f"60/50 degC amplification: "
+                f"{self.temperature_amplification():.1f}x")
+            lines.append(
+                f"chip-to-chip variation (max/min totals): "
+                f"{self.chip_to_chip_variation(60.0):.1f}x at 60 degC"
+            )
+        if self.excluded_devices:
+            lines.append(
+                f"{len(self.excluded_devices)} device(s) excluded on "
+                "quarantined thermal zones: "
+                + " ".join(str(d) for d in self.excluded_devices))
+        lines.extend(format_quarantine_lines(self.thermal_quarantine))
         return "\n".join(lines)
 
 
@@ -151,16 +187,23 @@ def _profile_device_chunk(task: Tuple[int, Tuple[int, ...], Tuple[float, ...]]
     return out
 
 
-def _device_chunks(sample_devices: int, jobs: int) -> List[Tuple[int, ...]]:
-    """Contiguous device-index chunks, one per worker slot.
+def _device_chunks(devices: Union[int, Sequence[int]],
+                   jobs: int) -> List[Tuple[int, ...]]:
+    """Contiguous device chunks, one per worker slot.
 
-    Chunks stay in ascending device order so concatenating chunk results
-    reproduces the serial per-device ordering exactly.
+    ``devices`` is either a device count (chunk ``range(devices)``) or
+    an explicit ascending device-id list (the gated path, with
+    quarantined devices already excluded). Chunks stay in ascending
+    device order so concatenating chunk results reproduces the serial
+    per-device ordering exactly.
     """
-    chunk_count = max(1, min(jobs, sample_devices))
-    size = -(-sample_devices // chunk_count)  # ceil division
-    return [tuple(range(lo, min(lo + size, sample_devices)))
-            for lo in range(0, sample_devices, size)]
+    ids = tuple(range(devices)) if isinstance(devices, int) \
+        else tuple(devices)
+    if not ids:
+        return []
+    chunk_count = max(1, min(jobs, len(ids)))
+    size = -(-len(ids) // chunk_count)  # ceil division
+    return [ids[lo:lo + size] for lo in range(0, len(ids), size)]
 
 
 def run_table1(seed: SeedLike = None,
@@ -170,15 +213,28 @@ def run_table1(seed: SeedLike = None,
                jobs: int = 1, faults: Optional[int] = None,
                real_faults: Optional[int] = None,
                unit_timeout: Optional[float] = None,
-               max_retries: int = DEFAULT_MAX_RETRIES) -> Table1Result:
+               max_retries: int = DEFAULT_MAX_RETRIES,
+               thermal_faults: Optional[int] = None,
+               thermal_plan: Optional[FaultPlan] = None,
+               thermal_rounds: int = 3,
+               regulation_s: float = 900.0) -> Table1Result:
     """Profile the population at both setpoints.
 
-    ``regulate=True`` actually runs the PID testbed to each setpoint
-    first and requires it to hold within 1 degC -- exercising the full
-    measurement chain the paper used. Every device's banks pass through
-    the real SECDED scrub; the verdict aggregates all of them.
+    ``regulate=True`` actually runs the 8-zone PID testbed to each
+    setpoint first -- exercising the full measurement chain the paper
+    used -- and gates the profiling on measurement validity: a round
+    whose belief was not steady within 1 degC of setpoint is
+    deterministically re-regulated (up to ``thermal_rounds`` windows of
+    ``regulation_s`` virtual seconds each), and zones the safe-state
+    quarantined have their devices excluded and surfaced as typed
+    records. ``thermal_faults`` (a seed) or ``thermal_plan`` (an
+    explicit :class:`FaultPlan`) injects deterministic rig faults into
+    that chain and implies ``regulate=True``; with only recoverable
+    faults the result rows are bit-identical to the clean run. Every
+    profiled device's banks pass through the real SECDED scrub; the
+    verdict aggregates all of them.
 
-    ``jobs > 1`` shards the 72-device profiling across a process pool in
+    ``jobs > 1`` shards the device profiling across a process pool in
     contiguous device chunks; per-bank sampling is substream-seeded per
     (device, bank), so the merged totals are identical to the serial
     pass at any worker count. Thermal regulation stays in the parent.
@@ -189,18 +245,40 @@ def run_table1(seed: SeedLike = None,
     """
     geometry = DEFAULT_GEOMETRY
     sample_devices = min(sample_devices, geometry.num_devices)
+    plan = thermal_plan_for(thermal_faults, thermal_plan,
+                            zones=NUM_ZONES, horizon_s=regulation_s)
+    regulate = regulate or plan is not None
     regulation_ok = True
+    quarantines: Tuple[ZoneQuarantine, ...] = ()
+    rounds_used: Dict[float, int] = {}
+    devices: Sequence[int] = range(sample_devices)
+    excluded: Tuple[int, ...] = ()
     if regulate:
-        testbed = ThermalTestbed([ZoneConfig(setpoint_c=temps_c[0])], seed=seed)
+        testbed = ThermalTestbed(
+            [ZoneConfig(setpoint_c=temps_c[0]) for _ in range(NUM_ZONES)],
+            seed=seed, faults=plan)
         for temp in temps_c:
-            testbed.set_setpoint(0, temp)
-            reports = testbed.run(900.0)
-            regulation_ok = regulation_ok and reports[0].within_one_degree
+            rounds_used[temp] = regulate_to_setpoint(
+                testbed, temp, rounds=thermal_rounds,
+                regulation_s=regulation_s)
+            regulation_ok = regulation_ok and all(
+                testbed.zone_measurement_valid(zone)
+                for zone in range(NUM_ZONES)
+                if testbed.monitors[zone].quarantine is None)
+        quarantines = testbed.zone_quarantines()
+        regulation_ok = regulation_ok and not quarantines
+        if quarantines:
+            zone_map = ZoneBinding.paper_default(geometry)
+            bad_zones = {q.zone for q in quarantines}
+            devices = [d for d in range(sample_devices)
+                       if zone_map.zone_of_device(d) not in bad_zones]
+            excluded = tuple(d for d in range(sample_devices)
+                             if zone_map.zone_of_device(d) in bad_zones)
 
     injected = faults is not None or real_faults is not None
     base = resolve_seed(seed) if jobs > 1 or injected else seed
     tasks = [(base, chunk, tuple(temps_c))
-             for chunk in _device_chunks(sample_devices, jobs)]
+             for chunk in _device_chunks(devices, jobs)]
     shards = parallel_map(
         _profile_device_chunk, tasks, jobs=jobs,
         fault_injector=fault_injector_for(faults, len(tasks),
@@ -228,6 +306,9 @@ def run_table1(seed: SeedLike = None,
         per_chip_totals=per_chip,
         scrubs=scrubs,
         regulation_ok=regulation_ok,
+        thermal_quarantine=quarantines,
+        excluded_devices=excluded,
+        regulation_rounds=rounds_used,
     )
 
 

@@ -1,0 +1,177 @@
+"""Applying scheduled rig faults to the thermal testbed.
+
+:class:`repro.core.faults.FaultPlan` *declares* thermal faults as typed
+:class:`~repro.core.faults.ThermalFault` records; this module *applies*
+them. A :class:`ThermalFaultInjector` groups a plan's thermal faults by
+zone and, each control tick, lenses the zone's sensor reads and actuator
+commands through whatever faults are active at that virtual time:
+
+- sensor faults corrupt what the controller *sees* (a stuck thermocouple
+  freezes at its last healthy reading, a drifting one ramps away at its
+  scheduled rate, dropouts and SPD timeouts read nothing);
+- actuator faults corrupt what the plant *receives* (a welded relay
+  delivers full power regardless of the commanded duty, a stuck-open
+  relay or a dead heater element delivers none);
+- ambient steps disturb the plant itself.
+
+Everything is a pure function of the plan plus virtual time (the stuck
+value is captured at the fault's first active tick, which is itself
+deterministic), so a faulted regulation run replays identically
+run-to-run -- the property the measurement-validity gating of the DRAM
+campaigns relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.faults import (
+    AMBIENT_STEP,
+    HEATER_FAILED,
+    RELAY_STUCK_OPEN,
+    RELAY_WELDED_ON,
+    SPD_TIMEOUT,
+    TC_DRIFT,
+    TC_DROPOUT,
+    TC_STUCK,
+    FaultPlan,
+    FaultStats,
+    ThermalFault,
+    thermal_faults_recoverable,
+)
+from repro.errors import CampaignError
+
+_TC_KINDS = (TC_STUCK, TC_DRIFT, TC_DROPOUT)
+
+
+class ZoneFaultState:
+    """The active-fault lens of one testbed zone.
+
+    Holds the zone's scheduled faults plus the small amount of mutable
+    state fault application needs (the captured stuck value, the
+    fired-once bookkeeping for stats). One instance serves one testbed
+    run; the capture is deterministic because the first active tick is.
+    """
+
+    def __init__(self, zone: int, faults: Sequence[ThermalFault],
+                 stats: FaultStats) -> None:
+        if any(f.zone != zone for f in faults):
+            raise CampaignError("zone fault state got a foreign-zone fault")
+        self.zone = zone
+        self.faults: Tuple[ThermalFault, ...] = tuple(
+            sorted(faults, key=lambda f: (f.start_s, f.kind)))
+        self.stats = stats
+        self._stuck_values: Dict[int, float] = {}
+        self._fired: set = set()
+
+    def _note(self, index: int, fault: ThermalFault) -> None:
+        if index not in self._fired:
+            self._fired.add(index)
+            self.stats.note_thermal(fault.kind)
+
+    def _active(self, kinds, now_s: float):
+        for index, fault in enumerate(self.faults):
+            if fault.kind in kinds and fault.active(now_s):
+                self._note(index, fault)
+                yield index, fault
+
+    def ambient_offset_c(self, now_s: float) -> float:
+        """Total ambient disturbance in effect at ``now_s`` (degC)."""
+        return sum(f.magnitude
+                   for _, f in self._active((AMBIENT_STEP,), now_s))
+
+    def thermocouple_reading(self, reading_c: float,
+                             now_s: float) -> Optional[float]:
+        """What the thermocouple channel reports given the true reading.
+
+        Returns ``None`` while a dropout is active; a stuck fault
+        returns the value captured at its first active tick; a drift
+        fault ramps away at ``magnitude`` degC/s from its onset.
+        """
+        for index, fault in self._active(_TC_KINDS, now_s):
+            if fault.kind == TC_DROPOUT:
+                return None
+            if fault.kind == TC_STUCK:
+                if index not in self._stuck_values:
+                    self._stuck_values[index] = reading_c
+                return self._stuck_values[index]
+            return reading_c + fault.magnitude * (now_s - fault.start_s)
+        return reading_c
+
+    def spd_reading(self, reading_c: float,
+                    now_s: float) -> Optional[float]:
+        """What the SPD read returns (``None`` while timing out)."""
+        for _ in self._active((SPD_TIMEOUT,), now_s):
+            return None
+        return reading_c
+
+    def delivered_power_w(self, commanded_w: float, now_s: float,
+                          max_power_w: float) -> float:
+        """Power the element actually receives given the command."""
+        for _ in self._active((HEATER_FAILED,), now_s):
+            return 0.0
+        for _ in self._active((RELAY_STUCK_OPEN,), now_s):
+            return 0.0
+        for _ in self._active((RELAY_WELDED_ON,), now_s):
+            return max_power_w
+        return commanded_w
+
+
+class ThermalFaultInjector:
+    """Feeds a plan's thermal faults to a :class:`ThermalTestbed`.
+
+    Groups the declared faults by zone and exposes one
+    :class:`ZoneFaultState` per affected zone; zones without faults get
+    ``None`` and run the clean path. ``stats`` (shared with a
+    :class:`~repro.core.faults.FaultInjector` when built from one)
+    counts each fault once, at its first active tick. One injector
+    instance drives one testbed: the stuck-value capture is per-run
+    state.
+    """
+
+    def __init__(self, faults: Sequence[ThermalFault] = (),
+                 stats: Optional[FaultStats] = None) -> None:
+        self.faults: Tuple[ThermalFault, ...] = tuple(faults)
+        self.stats = stats if stats is not None else FaultStats()
+        by_zone: Dict[int, list] = {}
+        for fault in self.faults:
+            by_zone.setdefault(fault.zone, []).append(fault)
+        self._states: Dict[int, ZoneFaultState] = {
+            zone: ZoneFaultState(zone, zone_faults, self.stats)
+            for zone, zone_faults in by_zone.items()
+        }
+
+    @classmethod
+    def from_plan(cls, plan: FaultPlan,
+                  stats: Optional[FaultStats] = None) -> "ThermalFaultInjector":
+        """Build an injector over a :class:`FaultPlan`'s thermal faults."""
+        return cls(plan.thermal_faults, stats=stats)
+
+    @classmethod
+    def coerce(cls, faults) -> Optional["ThermalFaultInjector"]:
+        """Normalize ``None`` / injector / plan / fault sequence."""
+        if faults is None or isinstance(faults, ThermalFaultInjector):
+            return faults
+        if isinstance(faults, FaultPlan):
+            return cls.from_plan(faults)
+        return cls(tuple(faults))
+
+    @property
+    def recoverable(self) -> bool:
+        """Whether every zone survives the injected schedule."""
+        return thermal_faults_recoverable(self.faults)
+
+    @property
+    def zones(self) -> Tuple[int, ...]:
+        """Zones with at least one scheduled fault, ascending."""
+        return tuple(sorted(self._states))
+
+    def zone_state(self, zone: int) -> Optional[ZoneFaultState]:
+        """The zone's fault lens, or ``None`` for a clean zone."""
+        return self._states.get(zone)
+
+
+__all__ = [
+    "ThermalFaultInjector",
+    "ZoneFaultState",
+]

@@ -51,12 +51,17 @@ class SpdSensor:
     source: Callable[[], float]
     resolution_c: float = 0.25
     update_period_s: float = 1.0
-    _last_time: float = field(default=-1e9, init=False)
+    _last_time: float = field(default=0.0, init=False)
     _last_value: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
         if self.resolution_c <= 0 or self.update_period_s <= 0:
             raise ConfigurationError("SPD sensor parameters must be positive")
+        # Seed the register from the source at power-on: a poll before the
+        # first update period must return the construction-time reading,
+        # never a stale 0.0 default.
+        self._last_value = round(float(self.source())
+                                 / self.resolution_c) * self.resolution_c
 
     def read_c(self, now_s: float = 0.0) -> float:
         if now_s - self._last_time >= self.update_period_s:

@@ -46,6 +46,21 @@ def test_run_fast_fig8a(capsys):
     assert "[fig8a:" in out
 
 
+def test_run_thermal_faults_flag(capsys):
+    """--thermal-faults with a recoverable schedule leaves the printed
+    table identical to the clean regulated run."""
+    assert main(["run", "table1", "--seed", "1", "--fast"]) == 0
+    clean = capsys.readouterr().out.rsplit("[table1:", 1)[0]
+    assert main(["run", "table1", "--seed", "1", "--fast",
+                 "--thermal-faults", "0"]) == 0
+    faulted = capsys.readouterr().out.rsplit("[table1:", 1)[0]
+    assert "Table I" in faulted
+    assert faulted == clean
+    assert main(["run", "fig8a", "--seed", "1",
+                 "--thermal-faults", "0"]) == 0
+    assert "Figure 8a" in capsys.readouterr().out
+
+
 def test_run_fast_fig4(capsys):
     assert main(["run", "fig4", "--seed", "1", "--fast"]) == 0
     out = capsys.readouterr().out

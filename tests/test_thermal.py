@@ -163,3 +163,13 @@ def test_spd_sensor_rate_limited():
     truth[0] = 60.0
     assert spd.read_c(0.5) == 50.0
     assert spd.read_c(1.5) == 60.0
+
+
+def test_spd_sensor_seeded_at_construction():
+    """A poll before the first update period must return the power-on
+    reading, never a stale 0.0 register default."""
+    truth = [47.6]
+    spd = SpdSensor(source=lambda: truth[0], update_period_s=1.0)
+    truth[0] = 80.0  # the die moved after power-on
+    assert spd.read_c(0.25) == pytest.approx(47.5)  # quantized power-on value
+    assert spd.read_c(1.5) == pytest.approx(80.0)
